@@ -1,0 +1,51 @@
+package libra
+
+import "repro/internal/workloads"
+
+// Benchmark describes one entry of the evaluation suite (Table II).
+type Benchmark struct {
+	Abbrev          string
+	Name            string
+	Class           string // "2D", "2.5D" or "3D"
+	MemoryIntensive bool
+	// FootprintMB is the unique texture storage the game references.
+	FootprintMB float64
+}
+
+func toBenchmark(p workloads.Profile) Benchmark {
+	return Benchmark{
+		Abbrev:          p.Abbrev,
+		Name:            p.Name,
+		Class:           string(p.Class),
+		MemoryIntensive: p.MemoryIntensive,
+		FootprintMB:     float64(p.New().TextureFootprintBytes()) / 1e6,
+	}
+}
+
+// Benchmarks returns the full 32-game suite, sorted by abbreviation.
+func Benchmarks() []Benchmark {
+	var out []Benchmark
+	for _, p := range workloads.All() {
+		out = append(out, toBenchmark(p))
+	}
+	return out
+}
+
+// MemoryIntensiveBenchmarks returns the 16 memory-intensive games (≥25% of
+// execution time on memory accesses in the paper's classification).
+func MemoryIntensiveBenchmarks() []Benchmark {
+	var out []Benchmark
+	for _, p := range workloads.MemoryIntensiveSuite() {
+		out = append(out, toBenchmark(p))
+	}
+	return out
+}
+
+// ComputeIntensiveBenchmarks returns the 16 compute-intensive games.
+func ComputeIntensiveBenchmarks() []Benchmark {
+	var out []Benchmark
+	for _, p := range workloads.ComputeIntensiveSuite() {
+		out = append(out, toBenchmark(p))
+	}
+	return out
+}

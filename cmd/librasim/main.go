@@ -1,0 +1,173 @@
+// Command librasim runs the LIBRA GPU simulator: single benchmark runs with
+// any scheduler configuration, or any of the paper's experiments (figures
+// and tables) end to end.
+//
+// Usage:
+//
+//	librasim -list                          # show the benchmark suite
+//	librasim -game SuS -policy libra -rus 2 -frames 10
+//	librasim -experiment fig11              # reproduce one figure
+//	librasim -experiment all                # reproduce every figure/table
+//	librasim -experiment fig11 -paper       # full FHD/25-frame scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	libra "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list the benchmark suite and exit")
+		game       = flag.String("game", "", "benchmark abbreviation for a single run (see -list)")
+		policy     = flag.String("policy", "libra", "scheduler policy: zorder | static-supertile | temperature | libra")
+		rus        = flag.Int("rus", 2, "raster units (single run)")
+		cores      = flag.Int("cores", 4, "cores per raster unit (single run)")
+		frames     = flag.Int("frames", 10, "frames to render")
+		screenW    = flag.Int("w", 640, "screen width")
+		screenH    = flag.Int("h", 384, "screen height")
+		l2kb       = flag.Int("l2kb", 1024, "shared L2 size in KiB (0 = Table I 2MB)")
+		experiment = flag.String("experiment", "", "experiment id (fig01..fig19b, table02, ranking) or 'all'")
+		paper      = flag.Bool("paper", false, "run experiments at the paper's full FHD scale (slow)")
+		format     = flag.String("format", "table", "experiment output format: table | markdown | json")
+		heat       = flag.Bool("heatmap", false, "print the per-tile DRAM heatmap of the last frame (single run)")
+		screenshot = flag.String("screenshot", "", "write the last rendered frame as a PPM image to this path (single run)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		printSuite()
+	case *experiment != "":
+		runExperiments(*experiment, *paper, *format)
+	case *game != "":
+		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *heat, *screenshot)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printSuite() {
+	fmt.Printf("%-5s %-22s %-5s %-6s %s\n", "abbr", "name", "class", "mem?", "footprint")
+	for _, b := range libra.Benchmarks() {
+		mi := ""
+		if b.MemoryIntensive {
+			mi = "yes"
+		}
+		fmt.Printf("%-5s %-22s %-5s %-6s %.1f MB\n", b.Abbrev, b.Name, b.Class, mi, b.FootprintMB)
+	}
+}
+
+func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat bool, screenshot string) {
+	cfg := libra.DefaultConfig(w, h)
+	cfg.RasterUnits = rus
+	cfg.CoresPerRU = cores
+	cfg.Policy = libra.Policy(policy)
+	cfg.L2KB = l2kb
+	run, err := libra.NewRun(cfg, game)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %dx%d, %d RU x %d cores, policy=%s\n", game, w, h, rus, cores, policy)
+	var results []libra.FrameResult
+	for i := 0; i < frames; i++ {
+		f := run.RenderFrame()
+		results = append(results, f)
+		fmt.Printf("frame %2d: %9d cycles  %6.1f fps  order=%-11s st=%-2d texHit=%.3f texLat=%5.1f dram=%7d energy=%7.0fuJ\n",
+			f.Frame, f.TotalCycles, f.FPS, f.Order, f.Supertile, f.TexHitRatio, f.AvgTexLatency, f.DRAMAccesses, f.Energy.Total)
+	}
+	warm := 2
+	if warm >= frames {
+		warm = 0
+	}
+	fmt.Println("summary:", libra.Summarize(results, warm))
+	if heat && len(results) > 0 {
+		fmt.Println("per-tile DRAM heatmap (last frame):")
+		fmt.Print(libra.HeatmapASCII(results[len(results)-1].TileDRAM))
+	}
+	if screenshot != "" {
+		if err := os.WriteFile(screenshot, run.FramePPM(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", screenshot)
+	}
+}
+
+func runExperiments(id string, paper bool, format string) {
+	p := experiments.DefaultParams()
+	if paper {
+		p = experiments.PaperParams()
+	}
+	r := experiments.NewRunner(p)
+	all := map[string]func() *experiments.Result{
+		"fig01":           r.Fig01Breakdown,
+		"fig02":           r.Fig02Heatmap,
+		"table02":         r.Table02Benchmarks,
+		"fig04":           r.Fig04CoreScaling,
+		"fig06a":          r.Fig06aMemoryFraction,
+		"fig06b":          r.Fig06bCorrelation,
+		"fig07":           r.Fig07Intervals,
+		"fig08":           r.Fig08Coherence,
+		"fig09":           r.Fig09Supertiles,
+		"fig11":           r.Fig11Speedup,
+		"fig12":           r.Fig12TexLatency,
+		"fig13":           r.Fig13HitRatio,
+		"fig14":           r.Fig14DramAccesses,
+		"fig15":           r.Fig15Energy,
+		"fig16":           r.Fig16StaticSupertiles,
+		"fig17":           r.Fig17ComputeIntensive,
+		"fig18":           r.Fig18RasterUnits,
+		"fig19a":          r.Fig19aSupertileThreshold,
+		"fig19b":          r.Fig19bOrderThreshold,
+		"ranking":         r.RankingOverhead,
+		"ablation-orders": r.AblationOrders,
+		"ablation-ext":    r.AblationExtensions,
+		"ablation-pfr":    r.AblationPFR,
+		"smoothing":       r.Smoothing,
+	}
+	render := func(res *experiments.Result) {
+		switch format {
+		case "markdown":
+			fmt.Print(res.Markdown())
+		case "json":
+			raw, err := res.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(raw))
+		default:
+			fmt.Println(res.Table())
+		}
+	}
+	if id == "all" {
+		ids := make([]string, 0, len(all))
+		for k := range all {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		for _, k := range ids {
+			start := time.Now()
+			render(all[k]())
+			if format == "table" {
+				fmt.Printf("   [%s took %v]\n\n", k, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		return
+	}
+	fn, ok := all[id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		os.Exit(1)
+	}
+	render(fn())
+}

@@ -1,0 +1,98 @@
+// Command suite runs the full 32-game benchmark suite under one or more GPU
+// configurations and prints a per-game comparison table — the quickest way
+// to see the whole evaluation at a glance.
+//
+// Usage:
+//
+//	suite                          # baseline vs PTR vs LIBRA, all games
+//	suite -suite mem -frames 12    # memory-intensive games only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	libra "repro"
+)
+
+func main() {
+	var (
+		which   = flag.String("suite", "all", "all | mem | compute")
+		frames  = flag.Int("frames", 8, "frames per game per configuration")
+		warmup  = flag.Int("warmup", 2, "warm-up frames excluded from summaries")
+		screenW = flag.Int("w", 640, "screen width")
+		screenH = flag.Int("h", 384, "screen height")
+		l2kb    = flag.Int("l2kb", 1024, "shared L2 KiB (0 = Table I 2MB)")
+	)
+	flag.Parse()
+
+	var games []libra.Benchmark
+	switch *which {
+	case "mem":
+		games = libra.MemoryIntensiveBenchmarks()
+	case "compute":
+		games = libra.ComputeIntensiveBenchmarks()
+	case "all":
+		games = libra.Benchmarks()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *which)
+		os.Exit(1)
+	}
+
+	withL2 := func(c libra.Config) libra.Config {
+		c.L2KB = *l2kb
+		return c
+	}
+	configs := []struct {
+		name string
+		cfg  libra.Config
+	}{
+		{"baseline", withL2(libra.Baseline(*screenW, *screenH, 8))},
+		{"ptr", withL2(libra.PTR(*screenW, *screenH, 2))},
+		{"libra", withL2(libra.LIBRA(*screenW, *screenH, 2))},
+	}
+
+	fmt.Printf("%-5s %-5s", "bench", "class")
+	for _, c := range configs {
+		fmt.Printf("  %12s", c.name)
+	}
+	fmt.Printf("  %8s %8s\n", "ptr%", "libra%")
+
+	var ptrGain, libraGain []float64
+	for _, g := range games {
+		fmt.Printf("%-5s %-5s", g.Abbrev, g.Class)
+		var cycles []int64
+		for _, c := range configs {
+			run, err := libra.NewRun(c.cfg, g.Abbrev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s := libra.Summarize(run.RenderFrames(*frames), *warmup)
+			cycles = append(cycles, s.TotalCycles)
+			fmt.Printf("  %12d", s.TotalCycles)
+		}
+		pg := (float64(cycles[0])/float64(cycles[1]) - 1) * 100
+		lg := (float64(cycles[0])/float64(cycles[2]) - 1) * 100
+		ptrGain = append(ptrGain, pg)
+		libraGain = append(libraGain, lg)
+		fmt.Printf("  %+8.2f %+8.2f\n", pg, lg)
+	}
+	fmt.Printf("%-11s", "AVERAGE")
+	for range configs {
+		fmt.Printf("  %12s", "")
+	}
+	fmt.Printf("  %+8.2f %+8.2f\n", mean(ptrGain), mean(libraGain))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

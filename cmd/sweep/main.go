@@ -1,0 +1,92 @@
+// Command sweep runs hardware parameter sweeps on one benchmark: shader
+// cores, Raster Units or L2 capacity, printing cycles and derived metrics
+// per point — the tool behind sensitivity studies like Figs. 4 and 18.
+//
+// Usage:
+//
+//	sweep -game CCS -axis cores -values 2,4,8,16
+//	sweep -game SuS -axis rus   -values 1,2,3,4
+//	sweep -game HoW -axis l2kb  -values 256,512,1024,2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	libra "repro"
+)
+
+func main() {
+	var (
+		game    = flag.String("game", "CCS", "benchmark abbreviation")
+		axis    = flag.String("axis", "cores", "sweep axis: cores | rus | l2kb")
+		values  = flag.String("values", "", "comma-separated sweep values (defaults per axis)")
+		policy  = flag.String("policy", "libra", "scheduler policy")
+		frames  = flag.Int("frames", 8, "frames per point")
+		screenW = flag.Int("w", 640, "screen width")
+		screenH = flag.Int("h", 384, "screen height")
+	)
+	flag.Parse()
+
+	defaults := map[string]string{
+		"cores": "2,4,8,16",
+		"rus":   "1,2,3,4",
+		"l2kb":  "256,512,1024,2048",
+	}
+	spec := *values
+	if spec == "" {
+		spec = defaults[*axis]
+	}
+	if spec == "" {
+		fmt.Fprintf(os.Stderr, "unknown axis %q\n", *axis)
+		os.Exit(1)
+	}
+	var points []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		points = append(points, v)
+	}
+
+	fmt.Printf("%s sweep on %s (%s policy, %dx%d)\n", *axis, *game, *policy, *screenW, *screenH)
+	fmt.Printf("%8s %12s %8s %8s %8s %10s\n", *axis, "cycles", "fps", "texHit", "texLat", "energy uJ")
+	var base int64
+	for i, v := range points {
+		cfg := libra.DefaultConfig(*screenW, *screenH)
+		cfg.Policy = libra.Policy(*policy)
+		cfg.L2KB = 1024
+		cfg.RasterUnits = 2
+		cfg.CoresPerRU = 4
+		switch *axis {
+		case "cores":
+			cfg.RasterUnits = 1
+			cfg.CoresPerRU = v
+			cfg.Policy = libra.PolicyZOrder
+		case "rus":
+			cfg.RasterUnits = v
+			if v == 1 {
+				cfg.Policy = libra.PolicyZOrder
+			}
+		case "l2kb":
+			cfg.L2KB = v
+		}
+		run, err := libra.NewRun(cfg, *game)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s := libra.Summarize(run.RenderFrames(*frames), 2)
+		if i == 0 {
+			base = s.TotalCycles
+		}
+		fmt.Printf("%8d %12d %8.1f %8.3f %8.1f %10.0f   (%+.1f%%)\n",
+			v, s.TotalCycles, s.AvgFPS, s.AvgTexHit, s.AvgTexLatency, s.EnergyUJ,
+			(float64(base)/float64(s.TotalCycles)-1)*100)
+	}
+}

@@ -1,0 +1,70 @@
+package libra_test
+
+import (
+	"fmt"
+
+	libra "repro"
+)
+
+// ExampleNewRun shows the minimal simulation loop: configure a GPU, pick a
+// benchmark, render frames.
+func ExampleNewRun() {
+	cfg := libra.LIBRA(640, 384, 2) // 2 Raster Units x 4 cores, adaptive scheduler
+	run, err := libra.NewRun(cfg, "CCS")
+	if err != nil {
+		panic(err)
+	}
+	frames := run.RenderFrames(3)
+	fmt.Println("frames rendered:", len(frames))
+	fmt.Println("benchmark:", run.Benchmark())
+	fmt.Println("deterministic:", frames[0].TotalCycles > 0)
+	// Output:
+	// frames rendered: 3
+	// benchmark: CCS
+	// deterministic: true
+}
+
+// ExampleBenchmarks lists the evaluation suite.
+func ExampleBenchmarks() {
+	all := libra.Benchmarks()
+	mem := libra.MemoryIntensiveBenchmarks()
+	fmt.Println("suite size:", len(all))
+	fmt.Println("memory-intensive:", len(mem))
+	fmt.Println("first:", all[0].Abbrev)
+	// Output:
+	// suite size: 32
+	// memory-intensive: 16
+	// first: AAt
+}
+
+// ExampleSpeedup compares two configurations on the same workload.
+func ExampleSpeedup() {
+	base, _ := libra.NewRun(libra.Baseline(320, 192, 8), "Jet")
+	fast, _ := libra.NewRun(libra.PTR(320, 192, 2), "Jet")
+	b := libra.Summarize(base.RenderFrames(4), 1)
+	f := libra.Summarize(fast.RenderFrames(4), 1)
+	fmt.Println("speedup is positive:", libra.Speedup(b, f) > 0)
+	// Output:
+	// speedup is positive: true
+}
+
+// ExampleConfig_Validate demonstrates configuration checking.
+func ExampleConfig_Validate() {
+	bad := libra.Config{ScreenW: -1}
+	fmt.Println(bad.Validate() != nil)
+	good := libra.DefaultConfig(640, 384)
+	fmt.Println(good.Validate())
+	// Output:
+	// true
+	// <nil>
+}
+
+// ExampleRankingCycles shows the §III-E hardware-cost helpers.
+func ExampleRankingCycles() {
+	fmt.Println("table bytes for 510 supertiles:", libra.RankTableBytes(510))
+	fmt.Println("ranking hidden under 270k geometry cycles:",
+		libra.RankingCycles(510) < 270000)
+	// Output:
+	// table bytes for 510 supertiles: 4080
+	// ranking hidden under 270k geometry cycles: true
+}

@@ -1,0 +1,36 @@
+// Quickstart: render a few frames of a commercial-game-like workload on the
+// paper's baseline GPU and on LIBRA, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	libra "repro"
+)
+
+func main() {
+	const w, h, frames = 640, 384, 8
+
+	// The conventional TBR GPU: one Raster Unit with 8 shader cores.
+	baseline, err := libra.NewRun(libra.Baseline(w, h, 8), "CCS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// LIBRA: the same 8 cores as two Raster Units with the
+	// temperature-aware adaptive tile scheduler.
+	proposed, err := libra.NewRun(libra.LIBRA(w, h, 2), "CCS")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := libra.Summarize(baseline.RenderFrames(frames), 2)
+	lib := libra.Summarize(proposed.RenderFrames(frames), 2)
+
+	fmt.Println("Candy-Crush-like workload, 640x384, 8 shader cores total")
+	fmt.Printf("  baseline (1 RU x 8 cores): %s\n", base)
+	fmt.Printf("  LIBRA    (2 RU x 4 cores): %s\n", lib)
+	fmt.Printf("  speedup: %.1f%%   energy saved: %.1f%%\n",
+		(libra.Speedup(base, lib)-1)*100,
+		(1-lib.EnergyUJ/base.EnergyUJ)*100)
+}

@@ -1,0 +1,45 @@
+// Scaling: the Fig. 18 study through the public API — LIBRA with 2, 3 and 4
+// Raster Units against single-Raster-Unit baselines with the same total core
+// count, over a small set of memory-intensive benchmarks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	libra "repro"
+)
+
+func main() {
+	const w, h, frames = 640, 384, 8
+	games := []string{"AAt", "CCS", "SuS", "HoW"}
+
+	fmt.Printf("%-5s", "bench")
+	for _, n := range []int{2, 3, 4} {
+		fmt.Printf("   %d RU (%2d cores)", n, 4*n)
+	}
+	fmt.Println()
+
+	for _, g := range games {
+		fmt.Printf("%-5s", g)
+		for _, n := range []int{2, 3, 4} {
+			baseCfg := libra.Baseline(w, h, 4*n)
+			baseCfg.L2KB = 1024
+			libCfg := libra.LIBRA(w, h, n)
+			libCfg.L2KB = 1024
+
+			base, err := libra.NewRun(baseCfg, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lib, err := libra.NewRun(libCfg, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bs := libra.Summarize(base.RenderFrames(frames), 2)
+			ls := libra.Summarize(lib.RenderFrames(frames), 2)
+			fmt.Printf("   %+14.1f%%", (libra.Speedup(bs, ls)-1)*100)
+		}
+		fmt.Println()
+	}
+}

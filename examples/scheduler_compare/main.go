@@ -1,0 +1,63 @@
+// Scheduler_compare: run one memory-intensive benchmark under every tile
+// scheduling policy the library offers — the conventional baseline, plain
+// parallel tile rendering, each static supertile size, the always-on
+// temperature scheduler, and full LIBRA — and print a comparison table
+// (the Fig. 16 experiment in miniature).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	libra "repro"
+)
+
+func main() {
+	game := flag.String("game", "AAt", "benchmark abbreviation")
+	frames := flag.Int("frames", 8, "frames per configuration")
+	flag.Parse()
+
+	const w, h = 640, 384
+	type entry struct {
+		name string
+		cfg  libra.Config
+	}
+	static := func(k int) libra.Config {
+		c := libra.PTR(w, h, 2)
+		c.Policy = libra.PolicyStaticSupertile
+		c.SupertileSize = k
+		return c
+	}
+	temp := libra.PTR(w, h, 2)
+	temp.Policy = libra.PolicyTemperature
+	configs := []entry{
+		{"baseline 1RUx8", libra.Baseline(w, h, 8)},
+		{"ptr 2RUx4 zorder", libra.PTR(w, h, 2)},
+		{"static supertile 2x2", static(2)},
+		{"static supertile 4x4", static(4)},
+		{"static supertile 8x8", static(8)},
+		{"static supertile 16x16", static(16)},
+		{"temperature (fixed st)", temp},
+		{"LIBRA adaptive", libra.LIBRA(w, h, 2)},
+	}
+
+	fmt.Printf("%s, %dx%d, %d frames per config\n", *game, w, h, *frames)
+	fmt.Printf("%-24s %12s %8s %8s %9s\n", "scheduler", "cycles", "fps", "texHit", "energy uJ")
+	var base libra.Summary
+	for i, e := range configs {
+		cfg := e.cfg
+		cfg.L2KB = 1024
+		run, err := libra.NewRun(cfg, *game)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := libra.Summarize(run.RenderFrames(*frames), 2)
+		if i == 0 {
+			base = s
+		}
+		fmt.Printf("%-24s %12d %8.1f %8.3f %9.0f   (%+.1f%% vs baseline)\n",
+			e.name, s.TotalCycles, s.AvgFPS, s.AvgTexHit, s.EnergyUJ,
+			(libra.Speedup(base, s)-1)*100)
+	}
+}

@@ -1,0 +1,46 @@
+// Trace_replay: the trace-driven methodology — capture one frame's raster
+// workload once, then re-time it under several scheduler and memory
+// configurations without re-rendering, and watch how the temperature
+// scheduler converges over coherent passes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	libra "repro"
+)
+
+func main() {
+	const w, h = 640, 384
+
+	// Capture a steady-state frame of a memory-intensive runner.
+	capCfg := libra.Baseline(w, h, 8)
+	capCfg.L2KB = 1024
+	run, err := libra.NewRun(capCfg, "SuS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.RenderFrames(3) // warm caches so the capture is representative
+	res, trace, err := run.CaptureTrace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("captured SuS frame %d: %d fragments, %.1f KB trace\n\n",
+		res.Frame, res.Fragments, float64(len(trace))/1024)
+
+	for _, policy := range []libra.Policy{libra.PolicyZOrder, libra.PolicyLIBRA} {
+		cfg := libra.PTR(w, h, 2)
+		cfg.Policy = policy
+		cfg.L2KB = 1024
+		passes, err := libra.ReplayTrace(cfg, trace, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy=%s\n", policy)
+		for _, p := range passes {
+			fmt.Printf("  pass %d: %9d cycles  sched=%-12s texLat=%5.1f\n",
+				p.Pass, p.RasterCycles, p.Scheduler, p.AvgTexLatency)
+		}
+	}
+}

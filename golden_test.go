@@ -1,0 +1,69 @@
+package libra_test
+
+import (
+	"testing"
+
+	libra "repro"
+)
+
+// Golden frame hashes: frame 1 of every benchmark at 320x192 on the
+// baseline GPU. Rendering is deterministic, so any change to these values
+// means the functional renderer changed behaviour — review intentionally
+// and regenerate with the snippet in the test failure message.
+var goldenFrameHashes = map[string]uint64{
+	"AAt": 0x9611508e7799ea3d,
+	"AmU": 0xdbf75b4309ab0a90,
+	"AnB": 0x939a45316ed09cd8,
+	"BBR": 0xb813700b6d83b8d6,
+	"BeB": 0xc1217fd1e082d43,
+	"BlB": 0x65516246882b2270,
+	"CCS": 0x2f256ec7414541ef,
+	"ChK": 0x7e7b1f63f72d4139,
+	"CoC": 0x8c4c0bcd2f29e8a0,
+	"CrS": 0xc2c3978ccc3290b6,
+	"CuT": 0x95bf8c26c464b6c,
+	"DrM": 0x403c5c350e5bea09,
+	"FaF": 0xda556cff126f3c03,
+	"FlB": 0xc769037a6eaef920,
+	"FrF": 0x7c55ca60e7693229,
+	"GDL": 0x2d75e234868cbf9d,
+	"GrT": 0x5a42c3251fe6a887,
+	"Gra": 0x279b3458c73df1be,
+	"HCR": 0x4242bbab479f3acb,
+	"HoW": 0xb6aa80ec7574620f,
+	"Jet": 0xd7750900f54f6efb,
+	"LiK": 0x3c2ea6f49c7e0687,
+	"MiC": 0xed429d5c07e06159,
+	"PoG": 0x8a4529809fdcb2d9,
+	"RoK": 0x6ffd479add185ed7,
+	"RoM": 0x641ef0e8df19b43d,
+	"SoC": 0x9980e000dd1f05e9,
+	"SpD": 0xe1dd12a00e3a7284,
+	"SuS": 0x4ab84f3a3dcde0bd,
+	"TeR": 0xe422e559fb0cabc9,
+	"VeX": 0x84daff57f17b9b14,
+	"WoT": 0x97a925c6f57f465b,
+}
+
+func TestGoldenFrameHashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the whole suite")
+	}
+	for _, b := range libra.Benchmarks() {
+		want, ok := goldenFrameHashes[b.Abbrev]
+		if !ok {
+			t.Errorf("%s: no golden hash recorded", b.Abbrev)
+			continue
+		}
+		r, err := libra.NewRun(libra.Baseline(320, 192, 8), b.Abbrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.RenderFrames(2)[1].FrameHash
+		if got != want {
+			t.Errorf("%s: frame hash %#x, golden %#x — if the renderer change is"+
+				" intentional, regenerate the golden map (render frame 1 of each"+
+				" benchmark at 320x192 on Baseline(320,192,8))", b.Abbrev, got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/raster"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tiling"
+	"repro/internal/trace"
+)
+
+// CaptureTrace renders the scene like RenderFrame while also capturing the
+// frame's complete raster workload as a replayable trace.
+func (g *GPU) CaptureTrace(sc *scene.Scene) (FrameResult, *trace.FrameTrace) {
+	ft := &trace.FrameTrace{
+		ScreenW: g.cfg.ScreenW,
+		ScreenH: g.cfg.ScreenH,
+		Tiles:   make([]raster.TileWork, g.grid.NumTiles()),
+	}
+	g.traceSink = func(tw raster.TileWork) { ft.Tiles[tw.TileID] = tw }
+	defer func() { g.traceSink = nil }()
+	res := g.RenderFrame(sc)
+	return res, ft
+}
+
+// ReplayResult is the outcome of one trace replay pass.
+type ReplayResult struct {
+	Pass          int
+	RasterCycles  int64
+	TexHitRatio   float64
+	AvgTexLatency float64
+	DRAMAccesses  int
+	Scheduler     string
+}
+
+// ReplayTrace re-times a recorded frame workload under the given GPU
+// configuration without re-rendering. Each pass re-runs the same workload
+// (standing in for perfectly coherent consecutive frames): temperature-based
+// policies use the previous pass's per-tile statistics, exactly as LIBRA
+// uses the previous frame's.
+func ReplayTrace(cfg Config, ft *trace.FrameTrace, passes int) ([]ReplayResult, error) {
+	if ft.ScreenW != cfg.ScreenW || ft.ScreenH != cfg.ScreenH {
+		return nil, fmt.Errorf("core: trace is %dx%d but config is %dx%d",
+			ft.ScreenW, ft.ScreenH, cfg.ScreenW, cfg.ScreenH)
+	}
+	g := New(cfg)
+	if len(ft.Tiles) != g.grid.NumTiles() {
+		return nil, fmt.Errorf("core: trace has %d tiles, grid has %d", len(ft.Tiles), g.grid.NumTiles())
+	}
+	hier := mem.NewHierarchy(cfg.L2, cfg.DRAM)
+	hier.IdealL1 = cfg.IdealMemory
+	hier.PrefetchNextLine = cfg.PrefetchTexture
+	eng := sim.NewEngine(cfg.Sim, g.grid, hier)
+
+	var out []ReplayResult
+	clock := int64(0)
+	for pass := 0; pass < passes; pass++ {
+		hier.ResetStats()
+		eng.ResetFrameStats()
+		scheduler, _, _ := g.buildScheduler()
+		tileStats := stats.NewTileTable(g.grid.TilesX, g.grid.TilesY)
+		o := eng.RunRaster(sim.FrameInput{
+			Works:      ft.Tiles,
+			Scheduler:  scheduler,
+			TileStats:  tileStats,
+			StartCycle: clock,
+		})
+		clock += o.RasterCycles
+		g.prevTiles = tileStats
+		g.adaptive.Observe(sched.FrameMetrics{
+			RasterCycles: o.RasterCycles,
+			TexHitRatio:  o.TexHitRatio(),
+		}, schedModeOf(scheduler))
+		g.frameIdx++
+		out = append(out, ReplayResult{
+			Pass:          pass,
+			RasterCycles:  o.RasterCycles,
+			TexHitRatio:   o.TexHitRatio(),
+			AvgTexLatency: o.AvgTexLatency(),
+			DRAMAccesses:  o.DRAMAccesses,
+			Scheduler:     scheduler.Name(),
+		})
+	}
+	return out, nil
+}
+
+// ReplayPFR re-times two consecutive frames' workloads rendered in parallel
+// (Parallel Frame Rendering, related work [9]): Raster Unit i renders frame
+// i in its entirety, sharing the L2 and DRAM. The returned output covers
+// both frames; divide by two for a per-frame comparison against sequential
+// rendering.
+func ReplayPFR(cfg Config, frames []*trace.FrameTrace) (sim.FrameOutput, error) {
+	if len(frames) == 0 {
+		return sim.FrameOutput{}, fmt.Errorf("core: no frames to replay")
+	}
+	grid := tiling.NewGrid(cfg.ScreenW, cfg.ScreenH)
+	works := make([][]raster.TileWork, len(frames))
+	for i, ft := range frames {
+		if ft.ScreenW != cfg.ScreenW || ft.ScreenH != cfg.ScreenH {
+			return sim.FrameOutput{}, fmt.Errorf("core: frame %d is %dx%d, config is %dx%d",
+				i, ft.ScreenW, ft.ScreenH, cfg.ScreenW, cfg.ScreenH)
+		}
+		if len(ft.Tiles) != grid.NumTiles() {
+			return sim.FrameOutput{}, fmt.Errorf("core: frame %d has %d tiles, grid has %d",
+				i, len(ft.Tiles), grid.NumTiles())
+		}
+		works[i] = ft.Tiles
+	}
+	simCfg := cfg.Sim
+	simCfg.RasterUnits = len(frames)
+	hier := mem.NewHierarchy(cfg.L2, cfg.DRAM)
+	hier.IdealL1 = cfg.IdealMemory
+	hier.PrefetchNextLine = cfg.PrefetchTexture
+	eng := sim.NewEngine(simCfg, grid, hier)
+	out := eng.RunRaster(sim.FrameInput{
+		WorksByRU: works,
+		Scheduler: sched.NewPFR(grid, len(frames)),
+	})
+	return out, nil
+}
+
+// schedModeOf maps a scheduler instance back to the order mode it embodies.
+func schedModeOf(s sched.Scheduler) sched.OrderMode {
+	switch s.(type) {
+	case *sched.Temperature, *sched.AlternatingTemperature:
+		return sched.ModeTemperature
+	default:
+		return sched.ModeZOrder
+	}
+}

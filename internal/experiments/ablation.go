@@ -1,0 +1,179 @@
+package experiments
+
+import libra "repro"
+
+// ablationGames is a representative memory-intensive subset (cheap enough to
+// sweep many configurations).
+var ablationGames = []string{"AAt", "CCS", "Gra", "SuS", "HoW", "HCR"}
+
+// AblationOrders compares tile-ordering policies beyond the paper's: the
+// Hilbert curve (DTexL), per-frame reversal (Boustrophedonic Frames), a
+// random-order control, the alternating hot/cold variant, and full LIBRA —
+// all as speedup over interleaved Z-order PTR with two Raster Units.
+func (r *Runner) AblationOrders() *Result {
+	res := &Result{
+		ID:      "ablation-orders",
+		Title:   "Tile-order ablation: speedup over PTR Z-order (%)",
+		Columns: []string{"hilbert", "reverse", "random", "alt-temp", "libra"},
+	}
+	policies := []libra.Policy{
+		libra.PolicyHilbert, libra.PolicyReverse, libra.PolicyRandom,
+		libra.PolicyAltTemperature, libra.PolicyLIBRA,
+	}
+	sums := make([][]float64, len(policies))
+	for _, g := range ablationGames {
+		base := r.Run(r.PTR(2), g)
+		var vals []float64
+		for i, pol := range policies {
+			cfg := r.PTR(2)
+			cfg.Policy = pol
+			s := (libra.Speedup(base.Summary, r.Run(cfg, g).Summary) - 1) * 100
+			vals = append(vals, s)
+			sums[i] = append(sums[i], s)
+		}
+		res.Rows = append(res.Rows, Row{Label: g, Values: vals})
+	}
+	res.Headline = map[string]float64{
+		"avg_hilbert_pct": mean(sums[0]),
+		"avg_reverse_pct": mean(sums[1]),
+		"avg_random_pct":  mean(sums[2]),
+		"avg_alttemp_pct": mean(sums[3]),
+		"avg_libra_pct":   mean(sums[4]),
+	}
+	return res
+}
+
+// Smoothing quantifies the paper's central premise: LIBRA's scheduler keeps
+// DRAM demand more uniform over the frame. For each game it compares the
+// coefficient of variation of per-interval DRAM requests (the burstiness of
+// Fig. 7) between PTR and LIBRA, along with the peak interval.
+func (r *Runner) Smoothing() *Result {
+	res := &Result{
+		ID:      "smoothing",
+		Title:   "DRAM demand burstiness (CV of requests per 5000-cycle interval)",
+		Columns: []string{"ptr_cv", "libra_cv", "ptr_peak", "libra_peak"},
+	}
+	var ptrCV, libCV []float64
+	for _, g := range ablationGames {
+		ptrCfg := r.PTR(2)
+		ptrCfg.IntervalWidth = 5000
+		libCfg := r.LIBRA(2)
+		libCfg.IntervalWidth = 5000
+		p := r.Run(ptrCfg, g)
+		l := r.Run(libCfg, g)
+		pcv, ppeak := burstiness(p.Frames[len(p.Frames)-1].Intervals)
+		lcv, lpeak := burstiness(l.Frames[len(l.Frames)-1].Intervals)
+		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{pcv, lcv, ppeak, lpeak}})
+		ptrCV = append(ptrCV, pcv)
+		libCV = append(libCV, lcv)
+	}
+	res.Headline = map[string]float64{
+		"avg_ptr_cv":   mean(ptrCV),
+		"avg_libra_cv": mean(libCV),
+	}
+	return res
+}
+
+func burstiness(counts []uint32) (cv, peak float64) {
+	if len(counts) == 0 {
+		return 0, 0
+	}
+	var total float64
+	for _, c := range counts {
+		v := float64(c)
+		total += v
+		if v > peak {
+			peak = v
+		}
+	}
+	m := total / float64(len(counts))
+	if m == 0 {
+		return 0, peak
+	}
+	var ss float64
+	for _, c := range counts {
+		d := float64(c) - m
+		ss += d * d
+	}
+	return sqrt(ss/float64(len(counts))) / m, peak
+}
+
+// AblationPFR compares LIBRA's intra-frame parallelism against Parallel
+// Frame Rendering (related work [9]): two consecutive frames rendered
+// concurrently, one Raster Unit per frame, versus the same two frames
+// rendered sequentially by LIBRA's two cooperating Raster Units.
+func (r *Runner) AblationPFR() *Result {
+	res := &Result{
+		ID:      "ablation-pfr",
+		Title:   "LIBRA (sequential frames, 2 cooperating RUs) vs PFR (1 RU per frame)",
+		Columns: []string{"libra_cyc", "pfr_cyc", "libra_vs_pfr%"},
+	}
+	var gains []float64
+	for _, g := range ablationGames {
+		run, err := libra.NewRun(r.LIBRA(2), g)
+		if err != nil {
+			panic(err)
+		}
+		// Warm up, then capture two consecutive coherent frames while
+		// measuring LIBRA's live sequential raster time for them.
+		for i := 0; i < 4; i++ {
+			run.RenderFrame()
+		}
+		resA, trA, err := run.CaptureTrace()
+		if err != nil {
+			panic(err)
+		}
+		resB, trB, err := run.CaptureTrace()
+		if err != nil {
+			panic(err)
+		}
+		seq := resA.RasterCycles + resB.RasterCycles
+
+		pfr, err := libra.ReplayPFR(r.PTR(2), [][]byte{trA, trB})
+		if err != nil {
+			panic(err)
+		}
+		gain := (float64(pfr.TotalCycles)/float64(seq) - 1) * 100
+		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{
+			float64(seq), float64(pfr.TotalCycles), gain,
+		}})
+		gains = append(gains, gain)
+	}
+	res.Headline = map[string]float64{"avg_libra_advantage_pct": mean(gains)}
+	return res
+}
+
+// AblationExtensions measures the extension features (not part of the
+// paper's proposal) on top of LIBRA: texture prefetching, DRAM refresh
+// modelling, and posted writes — each as speedup over plain LIBRA.
+func (r *Runner) AblationExtensions() *Result {
+	res := &Result{
+		ID:      "ablation-ext",
+		Title:   "Extension ablation: speedup over plain LIBRA (%)",
+		Columns: []string{"prefetch", "refresh", "postedwr"},
+	}
+	variants := []func(*libra.Config){
+		func(c *libra.Config) { c.PrefetchTexture = true },
+		func(c *libra.Config) { c.DRAMRefresh = true },
+		func(c *libra.Config) { c.PostedWrites = true },
+	}
+	sums := make([][]float64, len(variants))
+	for _, g := range ablationGames {
+		base := r.Run(r.LIBRA(2), g)
+		var vals []float64
+		for i, apply := range variants {
+			cfg := r.LIBRA(2)
+			apply(&cfg)
+			s := (libra.Speedup(base.Summary, r.Run(cfg, g).Summary) - 1) * 100
+			vals = append(vals, s)
+			sums[i] = append(sums[i], s)
+		}
+		res.Rows = append(res.Rows, Row{Label: g, Values: vals})
+	}
+	res.Headline = map[string]float64{
+		"avg_prefetch_pct": mean(sums[0]),
+		"avg_refresh_pct":  mean(sums[1]),
+		"avg_postedwr_pct": mean(sums[2]),
+	}
+	return res
+}

@@ -1,0 +1,204 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§I, §III motivation and §V results) on top of the public API.
+// Each Fig/Table function runs the required simulations and returns both the
+// raw series and a formatted, paper-style text table. cmd/librasim and the
+// root bench harness are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	libra "repro"
+)
+
+// Params controls the scale of every experiment. The paper runs FHD
+// (1920×1080) over 25-frame sequences; the default here is a scaled screen
+// that preserves the tile-count regime (hundreds of tiles) at tractable
+// simulation cost. Results are resolution-stable in shape.
+type Params struct {
+	ScreenW, ScreenH int
+	Frames           int // frames per measurement
+	Warmup           int // leading frames excluded from summaries
+	// L2KB scales the shared L2 with the screen so the cache-to-working-set
+	// ratio of the FHD evaluation is preserved (0 = Table I's 2 MB).
+	L2KB int
+}
+
+// DefaultParams returns the standard experiment scale: 1/8.4 of the FHD
+// pixel count with the L2 scaled by the same factor.
+func DefaultParams() Params {
+	return Params{ScreenW: 640, ScreenH: 384, Frames: 12, Warmup: 4, L2KB: 1024}
+}
+
+// PaperParams returns the paper's full scale (slow: FHD, 25 frames, 2MB L2).
+func PaperParams() Params {
+	return Params{ScreenW: 1920, ScreenH: 1080, Frames: 25, Warmup: 3}
+}
+
+// TotalCores is the shader-core budget of the headline comparison: the
+// baseline has one 8-core Raster Unit, LIBRA two 4-core Raster Units.
+const TotalCores = 8
+
+// GameRun holds one benchmark's frames under one configuration.
+type GameRun struct {
+	Game    string
+	Frames  []libra.FrameResult
+	Summary libra.Summary
+}
+
+// Runner executes and memoizes simulations so that experiments sharing the
+// same configuration (Figs. 11-15 all need baseline/PTR/LIBRA runs) pay for
+// them once.
+type Runner struct {
+	P     Params
+	mu    sync.Mutex
+	cache map[string]*GameRun
+}
+
+// NewRunner builds a runner at the given scale.
+func NewRunner(p Params) *Runner {
+	return &Runner{P: p, cache: map[string]*GameRun{}}
+}
+
+// Run simulates (or recalls) the given benchmark under cfg.
+func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
+	key := fmt.Sprintf("%s|%+v", game, cfg)
+	r.mu.Lock()
+	if got, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return got
+	}
+	r.mu.Unlock()
+
+	run, err := libra.NewRun(cfg, game)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	frames := run.RenderFrames(r.P.Frames)
+	gr := &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}
+	r.mu.Lock()
+	r.cache[key] = gr
+	r.mu.Unlock()
+	return gr
+}
+
+// Standard configurations of the evaluation.
+
+// scale applies the runner's hardware scaling to a configuration.
+func (r *Runner) scale(cfg libra.Config) libra.Config {
+	cfg.L2KB = r.P.L2KB
+	return cfg
+}
+
+// Baseline is the conventional GPU: 1 RU × TotalCores.
+func (r *Runner) Baseline() libra.Config {
+	return r.scale(libra.Baseline(r.P.ScreenW, r.P.ScreenH, TotalCores))
+}
+
+// BaselineCores is a single-RU baseline with the given core count.
+func (r *Runner) BaselineCores(n int) libra.Config {
+	return r.scale(libra.Baseline(r.P.ScreenW, r.P.ScreenH, n))
+}
+
+// PTR is parallel tile rendering with n 4-core RUs, Z-order interleaved.
+func (r *Runner) PTR(n int) libra.Config {
+	return r.scale(libra.PTR(r.P.ScreenW, r.P.ScreenH, n))
+}
+
+// LIBRA is the full proposal with n 4-core RUs.
+func (r *Runner) LIBRA(n int) libra.Config {
+	return r.scale(libra.LIBRA(r.P.ScreenW, r.P.ScreenH, n))
+}
+
+// suite name lists.
+func memGames() []string {
+	var out []string
+	for _, b := range libra.MemoryIntensiveBenchmarks() {
+		out = append(out, b.Abbrev)
+	}
+	return out
+}
+
+func compGames() []string {
+	var out []string
+	for _, b := range libra.ComputeIntensiveBenchmarks() {
+		out = append(out, b.Abbrev)
+	}
+	return out
+}
+
+func allGames() []string {
+	var out []string
+	for _, b := range libra.Benchmarks() {
+		out = append(out, b.Abbrev)
+	}
+	return out
+}
+
+// Row is one printable series entry.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Result is a complete experiment output.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Headline holds the experiment's key aggregate metrics by name (the
+	// numbers quoted in the paper's abstract/intro).
+	Headline map[string]float64
+	// Art holds any ASCII renderings (heatmaps).
+	Art string
+}
+
+// Table renders the result as an aligned text table.
+func (res *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", res.ID, res.Title)
+	if len(res.Rows) > 0 {
+		fmt.Fprintf(&b, "%-10s", "bench")
+		for _, c := range res.Columns {
+			fmt.Fprintf(&b, "%14s", c)
+		}
+		b.WriteByte('\n')
+		for _, row := range res.Rows {
+			fmt.Fprintf(&b, "%-10s", row.Label)
+			for _, v := range row.Values {
+				fmt.Fprintf(&b, "%14.4f", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(res.Headline) > 0 {
+		keys := make([]string, 0, len(res.Headline))
+		for k := range res.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "-- %s: %.4f\n", k, res.Headline[k])
+		}
+	}
+	if res.Art != "" {
+		b.WriteString(res.Art)
+	}
+	return b.String()
+}
+
+// mean of a slice (0 when empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// JSON serializes the result for downstream tooling (plotting, CI diffs).
+func (res *Result) JSON() ([]byte, error) {
+	type row struct {
+		Label  string    `json:"label"`
+		Values []float64 `json:"values"`
+	}
+	out := struct {
+		ID       string             `json:"id"`
+		Title    string             `json:"title"`
+		Columns  []string           `json:"columns,omitempty"`
+		Rows     []row              `json:"rows,omitempty"`
+		Headline map[string]float64 `json:"headline,omitempty"`
+	}{ID: res.ID, Title: res.Title, Columns: res.Columns, Headline: res.Headline}
+	for _, r := range res.Rows {
+		out.Rows = append(out.Rows, row{Label: r.Label, Values: r.Values})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Markdown renders the result as a GitHub-flavored markdown section, the
+// format EXPERIMENTS.md is assembled from.
+func (res *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", res.ID, res.Title)
+	if len(res.Rows) > 0 && len(res.Columns) > 0 {
+		fmt.Fprintf(&b, "| bench |")
+		for _, c := range res.Columns {
+			fmt.Fprintf(&b, " %s |", c)
+		}
+		b.WriteString("\n|---|")
+		for range res.Columns {
+			b.WriteString("---|")
+		}
+		b.WriteByte('\n')
+		for _, row := range res.Rows {
+			fmt.Fprintf(&b, "| %s |", row.Label)
+			for _, v := range row.Values {
+				fmt.Fprintf(&b, " %.3f |", v)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	if len(res.Headline) > 0 {
+		keys := make([]string, 0, len(res.Headline))
+		for k := range res.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "- **%s**: %.4f\n", k, res.Headline[k])
+		}
+		b.WriteByte('\n')
+	}
+	if res.Art != "" {
+		fmt.Fprintf(&b, "```\n%s```\n\n", res.Art)
+	}
+	return b.String()
+}

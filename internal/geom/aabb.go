@@ -1,0 +1,110 @@
+package geom
+
+// AABB is an axis-aligned bounding box in 3D.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// EmptyAABB returns a box that contains nothing; extending it with any point
+// produces a box containing exactly that point.
+func EmptyAABB() AABB {
+	const big = 1e30
+	return AABB{Min: Vec3{big, big, big}, Max: Vec3{-big, -big, -big}}
+}
+
+// Extend grows the box to include point p.
+func (b *AABB) Extend(p Vec3) {
+	if p.X < b.Min.X {
+		b.Min.X = p.X
+	}
+	if p.Y < b.Min.Y {
+		b.Min.Y = p.Y
+	}
+	if p.Z < b.Min.Z {
+		b.Min.Z = p.Z
+	}
+	if p.X > b.Max.X {
+		b.Max.X = p.X
+	}
+	if p.Y > b.Max.Y {
+		b.Max.Y = p.Y
+	}
+	if p.Z > b.Max.Z {
+		b.Max.Z = p.Z
+	}
+}
+
+// Union grows the box to include box o.
+func (b *AABB) Union(o AABB) {
+	b.Extend(o.Min)
+	b.Extend(o.Max)
+}
+
+// Contains reports whether p lies inside or on the boundary of the box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Empty reports whether the box contains no points.
+func (b AABB) Empty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Center returns the centroid of the box.
+func (b AABB) Center() Vec3 {
+	return b.Min.Add(b.Max).Scale(0.5)
+}
+
+// Corners returns the eight corners of the box.
+func (b AABB) Corners() [8]Vec3 {
+	return [8]Vec3{
+		{b.Min.X, b.Min.Y, b.Min.Z},
+		{b.Max.X, b.Min.Y, b.Min.Z},
+		{b.Min.X, b.Max.Y, b.Min.Z},
+		{b.Max.X, b.Max.Y, b.Min.Z},
+		{b.Min.X, b.Min.Y, b.Max.Z},
+		{b.Max.X, b.Min.Y, b.Max.Z},
+		{b.Min.X, b.Max.Y, b.Max.Z},
+		{b.Max.X, b.Max.Y, b.Max.Z},
+	}
+}
+
+// Rect is an axis-aligned rectangle in 2D screen space (pixels).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// Intersects reports whether two rectangles overlap (boundaries included).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && r.MaxX >= o.MinX &&
+		r.MinY <= o.MaxY && r.MaxY >= o.MinY
+}
+
+// Clip returns r restricted to o. The result may be empty.
+func (r Rect) Clip(o Rect) Rect {
+	c := r
+	if c.MinX < o.MinX {
+		c.MinX = o.MinX
+	}
+	if c.MinY < o.MinY {
+		c.MinY = o.MinY
+	}
+	if c.MaxX > o.MaxX {
+		c.MaxX = o.MaxX
+	}
+	if c.MaxY > o.MaxY {
+		c.MaxY = o.MaxY
+	}
+	return c
+}
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns the number of columns covered (inclusive bounds).
+func (r Rect) Width() int { return r.MaxX - r.MinX + 1 }
+
+// Height returns the number of rows covered (inclusive bounds).
+func (r Rect) Height() int { return r.MaxY - r.MinY + 1 }

@@ -1,0 +1,110 @@
+package geom
+
+// Vertex is the common vertex currency of the rendering pipelines: a
+// homogeneous clip-space (later screen-space) position plus the interpolated
+// attributes the fragment stage consumes.
+type Vertex struct {
+	Pos   Vec4 // clip space before viewport transform, screen space after
+	UV    Vec2 // texture coordinates
+	Color Vec3 // per-vertex color / lighting term
+}
+
+// LerpVertex interpolates all vertex fields at parameter t in [0, 1].
+func LerpVertex(a, b Vertex, t float32) Vertex {
+	return Vertex{
+		Pos:   a.Pos.Lerp(b.Pos, t),
+		UV:    a.UV.Lerp(b.UV, t),
+		Color: a.Color.Lerp(b.Color, t),
+	}
+}
+
+// clipPlane evaluates the signed distance of a clip-space position against
+// one of the six canonical clip planes (|x|,|y|,|z| <= w).
+func clipPlaneDist(v Vec4, plane int) float32 {
+	switch plane {
+	case 0:
+		return v.W + v.X // x >= -w
+	case 1:
+		return v.W - v.X // x <= w
+	case 2:
+		return v.W + v.Y
+	case 3:
+		return v.W - v.Y
+	case 4:
+		return v.W + v.Z
+	case 5:
+		return v.W - v.Z
+	}
+	return 0
+}
+
+// ClipTriangle clips a clip-space triangle against the canonical view volume
+// using Sutherland–Hodgman polygon clipping and re-triangulates the result as
+// a fan. It appends the resulting triangles (groups of three vertices) to dst
+// and returns the extended slice. A triangle entirely inside is appended
+// unchanged; one entirely outside contributes nothing.
+func ClipTriangle(dst []Vertex, a, b, c Vertex) []Vertex {
+	// Fast paths: fully inside or trivially rejected against one plane.
+	allIn := true
+	for plane := 0; plane < 6; plane++ {
+		da := clipPlaneDist(a.Pos, plane)
+		db := clipPlaneDist(b.Pos, plane)
+		dc := clipPlaneDist(c.Pos, plane)
+		if da < 0 && db < 0 && dc < 0 {
+			return dst // trivially rejected
+		}
+		if da < 0 || db < 0 || dc < 0 {
+			allIn = false
+		}
+	}
+	if allIn {
+		return append(dst, a, b, c)
+	}
+
+	// General case: polygon clipping. A triangle clipped against six planes
+	// has at most 9 vertices.
+	var bufA, bufB [9]Vertex
+	poly := bufA[:0]
+	poly = append(poly, a, b, c)
+	next := bufB[:0]
+	for plane := 0; plane < 6; plane++ {
+		next = next[:0]
+		n := len(poly)
+		if n == 0 {
+			return dst
+		}
+		for i := 0; i < n; i++ {
+			cur := poly[i]
+			prev := poly[(i+n-1)%n]
+			dCur := clipPlaneDist(cur.Pos, plane)
+			dPrev := clipPlaneDist(prev.Pos, plane)
+			curIn := dCur >= 0
+			prevIn := dPrev >= 0
+			if curIn != prevIn {
+				t := dPrev / (dPrev - dCur)
+				next = append(next, LerpVertex(prev, cur, t))
+			}
+			if curIn {
+				next = append(next, cur)
+			}
+		}
+		poly, next = next, poly
+	}
+	// Triangulate the clipped polygon as a fan.
+	for i := 1; i+1 < len(poly); i++ {
+		dst = append(dst, poly[0], poly[i], poly[i+1])
+	}
+	return dst
+}
+
+// TriangleArea2 returns twice the signed area of the 2D triangle (a, b, c).
+// Positive area corresponds to counter-clockwise winding in a Y-up space.
+func TriangleArea2(a, b, c Vec2) float32 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// EdgeFunction returns the signed distance-like edge value of point p against
+// the directed edge a→b, as used by the rasterizer's coverage test.
+func EdgeFunction(a, b, p Vec2) float32 {
+	return (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+}

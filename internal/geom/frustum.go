@@ -1,0 +1,88 @@
+package geom
+
+// Plane is the set of points p with Normal·p + D == 0. The positive
+// half-space (Distance > 0) is considered "inside" for culling.
+type Plane struct {
+	Normal Vec3
+	D      float32
+}
+
+// Distance returns the signed distance from p to the plane (positive on the
+// side the normal points to).
+func (pl Plane) Distance(p Vec3) float32 {
+	return pl.Normal.Dot(p) + pl.D
+}
+
+// Normalized returns the plane scaled so that the normal has unit length.
+func (pl Plane) Normalized() Plane {
+	l := pl.Normal.Len()
+	if l == 0 {
+		return pl
+	}
+	inv := 1 / l
+	return Plane{Normal: pl.Normal.Scale(inv), D: pl.D * inv}
+}
+
+// Frustum is the six bounding planes of a view volume, normals pointing
+// inward.
+type Frustum struct {
+	Planes [6]Plane // left, right, bottom, top, near, far
+}
+
+// FrustumFromMatrix extracts the six frustum planes from a combined
+// view-projection matrix using the Gribb–Hartmann method.
+func FrustumFromMatrix(m Mat4) Frustum {
+	r0, r1, r2, r3 := m.Row(0), m.Row(1), m.Row(2), m.Row(3)
+	plane := func(v Vec4) Plane {
+		return Plane{Normal: Vec3{v.X, v.Y, v.Z}, D: v.W}.Normalized()
+	}
+	var f Frustum
+	f.Planes[0] = plane(r3.Add(r0)) // left:   w + x >= 0
+	f.Planes[1] = plane(r3.Sub(r0)) // right:  w - x >= 0
+	f.Planes[2] = plane(r3.Add(r1)) // bottom: w + y >= 0
+	f.Planes[3] = plane(r3.Sub(r1)) // top:    w - y >= 0
+	f.Planes[4] = plane(r3.Add(r2)) // near:   w + z >= 0
+	f.Planes[5] = plane(r3.Sub(r2)) // far:    w - z >= 0
+	return f
+}
+
+// CullResult classifies a volume against a frustum.
+type CullResult int
+
+// Cull classifications.
+const (
+	Outside CullResult = iota // entirely outside at least one plane
+	Inside                    // entirely inside all planes
+	Partial                   // straddles at least one plane
+)
+
+// CullAABB classifies box b against the frustum.
+func (f Frustum) CullAABB(b AABB) CullResult {
+	result := Inside
+	corners := b.Corners()
+	for _, pl := range f.Planes {
+		in := 0
+		for _, c := range corners {
+			if pl.Distance(c) >= 0 {
+				in++
+			}
+		}
+		if in == 0 {
+			return Outside
+		}
+		if in != len(corners) {
+			result = Partial
+		}
+	}
+	return result
+}
+
+// ContainsPoint reports whether p is inside the frustum.
+func (f Frustum) ContainsPoint(p Vec3) bool {
+	for _, pl := range f.Planes {
+		if pl.Distance(p) < 0 {
+			return false
+		}
+	}
+	return true
+}

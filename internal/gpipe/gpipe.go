@@ -1,0 +1,219 @@
+// Package gpipe implements the Geometry Pipeline of the TBR GPU (§II-A):
+// vertex fetch through the Vertex cache, vertex shading, primitive assembly,
+// frustum culling, clipping, and the viewport transform. Its output — screen
+// space primitives in program order — feeds the Tiling Engine.
+//
+// The pipeline is functional for geometry (real transforms, real clipping)
+// and analytical for timing: shading cost and fetch stalls produce the
+// per-frame geometry cycle count that Fig. 1 and the §III-E overlap argument
+// rely on.
+package gpipe
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mem"
+	"repro/internal/mem/cache"
+	"repro/internal/scene"
+)
+
+// Primitive is a screen-space triangle in program order. Positions are in
+// pixels; Pos.Z is depth in [0,1]; Pos.W holds the clip-space w for
+// perspective-correct interpolation.
+type Primitive struct {
+	V    [3]geom.Vertex
+	Draw int // index into the scene's draw-call list
+	Seq  int // global submission order (program order across draws)
+}
+
+// ScreenBounds returns the pixel-space bounding rectangle of the primitive,
+// clamped to the screen.
+func (p *Primitive) ScreenBounds(screenW, screenH int) geom.Rect {
+	minX, minY := p.V[0].Pos.X, p.V[0].Pos.Y
+	maxX, maxY := minX, minY
+	for _, v := range p.V[1:] {
+		if v.Pos.X < minX {
+			minX = v.Pos.X
+		}
+		if v.Pos.X > maxX {
+			maxX = v.Pos.X
+		}
+		if v.Pos.Y < minY {
+			minY = v.Pos.Y
+		}
+		if v.Pos.Y > maxY {
+			maxY = v.Pos.Y
+		}
+	}
+	r := geom.Rect{MinX: int(minX), MinY: int(minY), MaxX: int(maxX), MaxY: int(maxY)}
+	return r.Clip(geom.Rect{MinX: 0, MinY: 0, MaxX: screenW - 1, MaxY: screenH - 1})
+}
+
+// Stats aggregates the geometry pipeline's per-frame activity.
+type Stats struct {
+	VerticesIn     int
+	VerticesShaded int // unique vertices actually transformed
+	PrimsIn        int
+	PrimsRejected  int // trivially outside the frustum
+	PrimsClipped   int // required polygon clipping
+	PrimsBackface  int // dropped by backface culling (when enabled)
+	PrimsOut       int
+	Instructions   uint64 // vertex-shader dynamic instructions
+	Cycles         int64  // geometry pipeline time for the frame
+	VertexFetches  uint64
+	VertexMisses   uint64
+	DRAMAccesses   int
+}
+
+// Config holds the geometry pipeline's throughput parameters.
+type Config struct {
+	// VerticesPerCycle is the vertex-processor throughput once fed.
+	VerticesPerCycle float64
+	// PrimsPerCycle is the assembly/cull/clip throughput.
+	PrimsPerCycle float64
+	// ShaderIPC is instructions per cycle of the vertex processors.
+	ShaderIPC float64
+	// BackfaceCull drops clockwise (screen-space) triangles. Off by
+	// default: mobile 2D/UI content is authored double-sided, and the
+	// synthetic suite relies on that.
+	BackfaceCull bool
+}
+
+// DefaultConfig returns throughputs resembling a small mobile geometry
+// front-end.
+func DefaultConfig() Config {
+	return Config{VerticesPerCycle: 1, PrimsPerCycle: 1, ShaderIPC: 4}
+}
+
+// Pipeline is the reusable geometry front-end. It owns the Vertex cache.
+type Pipeline struct {
+	cfg    Config
+	vcache *cache.Cache
+	hier   *mem.Hierarchy
+}
+
+// New builds a geometry pipeline using the given Vertex cache configuration
+// and the shared memory hierarchy.
+func New(cfg Config, vcacheCfg cache.Config, hier *mem.Hierarchy) *Pipeline {
+	return &Pipeline{cfg: cfg, vcache: cache.New(vcacheCfg), hier: hier}
+}
+
+// VertexCache exposes the pipeline's L1 vertex cache (for stats).
+func (p *Pipeline) VertexCache() *cache.Cache { return p.vcache }
+
+// Run processes a whole scene and returns the primitives in program order
+// plus the frame's geometry statistics. startCycle anchors the pipeline's
+// memory traffic in global time.
+func (p *Pipeline) Run(s *scene.Scene, screenW, screenH int, startCycle int64) ([]Primitive, Stats) {
+	var st Stats
+	var prims []Primitive
+	vp := s.Camera.ViewProj()
+	overlay := scene.OverlayProj()
+	now := startCycle
+	var memStall int64
+
+	clipBuf := make([]geom.Vertex, 0, 16)
+	shaded := make([]geom.Vertex, 0, 256)
+	seq := 0
+	for di := range s.DrawCalls {
+		dc := &s.DrawCalls[di]
+		proj := vp
+		if dc.ScreenSpace {
+			proj = overlay
+		}
+		mvp := proj.Mul(dc.Model)
+		st.VerticesIn += len(dc.Mesh.Vertices)
+
+		// Vertex fetch + shade each unique vertex once (post-transform
+		// cache, standard in mobile GPUs).
+		shaded = shaded[:0]
+		for vi, v := range dc.Mesh.Vertices {
+			addr := dc.Mesh.VertexAddr(vi)
+			// A 32-byte vertex touches one 64-byte line. Fetches spread
+			// over the geometry phase rather than bursting at one instant.
+			now++
+			r := p.hier.AccessThroughL1(p.vcache, now, addr, false)
+			st.VertexFetches++
+			if r.Level != mem.LevelL1 {
+				st.VertexMisses++
+				// Fetch latency is mostly hidden by the vertex FIFO; a
+				// fraction is exposed.
+				memStall += r.Latency / 4
+			}
+			st.DRAMAccesses += r.DRAMAccesses
+			pos := mvp.MulVec4(geom.V4(v.Pos, 1))
+			shaded = append(shaded, geom.Vertex{
+				Pos:   pos,
+				UV:    v.UV.Add(dc.UVOffset),
+				Color: v.Color,
+			})
+			st.VerticesShaded++
+			st.Instructions += uint64(dc.VertexProgram.InstructionsPerInvocation())
+		}
+
+		// Assemble, cull, clip.
+		idx := dc.Mesh.Indices
+		for i := 0; i+2 < len(idx); i += 3 {
+			st.PrimsIn++
+			a, b, c := shaded[idx[i]], shaded[idx[i+1]], shaded[idx[i+2]]
+			clipBuf = clipBuf[:0]
+			clipBuf = geom.ClipTriangle(clipBuf, a, b, c)
+			if len(clipBuf) == 0 {
+				st.PrimsRejected++
+				continue
+			}
+			if len(clipBuf) != 3 || clipBuf[0] != a {
+				st.PrimsClipped++
+			}
+			for j := 0; j+2 < len(clipBuf); j += 3 {
+				prim := Primitive{Draw: di, Seq: seq}
+				degenerate := false
+				for k := 0; k < 3; k++ {
+					v := clipBuf[j+k]
+					w := v.Pos.W
+					if w == 0 {
+						degenerate = true
+						break
+					}
+					ndc := v.Pos.PerspectiveDivide()
+					v.Pos = geom.Vec4{
+						X: (ndc.X + 1) * 0.5 * float32(screenW),
+						Y: (ndc.Y + 1) * 0.5 * float32(screenH),
+						Z: (ndc.Z + 1) * 0.5,
+						W: w,
+					}
+					prim.V[k] = v
+				}
+				if degenerate {
+					continue
+				}
+				// Drop zero-area triangles.
+				area := geom.TriangleArea2(
+					geom.V2(prim.V[0].Pos.X, prim.V[0].Pos.Y),
+					geom.V2(prim.V[1].Pos.X, prim.V[1].Pos.Y),
+					geom.V2(prim.V[2].Pos.X, prim.V[2].Pos.Y),
+				)
+				if area == 0 {
+					continue
+				}
+				if p.cfg.BackfaceCull && area < 0 {
+					st.PrimsBackface++
+					continue
+				}
+				prims = append(prims, prim)
+				seq++
+				st.PrimsOut++
+			}
+		}
+	}
+
+	// Timing: vertex shading, assembly, and the exposed part of the fetch
+	// stalls, overlapped at the pipeline's throughputs.
+	shadeCycles := int64(float64(st.Instructions) / p.cfg.ShaderIPC)
+	feedCycles := int64(float64(st.VerticesShaded) / p.cfg.VerticesPerCycle)
+	primCycles := int64(float64(st.PrimsIn) / p.cfg.PrimsPerCycle)
+	st.Cycles = shadeCycles + primCycles + memStall
+	if feedCycles > st.Cycles {
+		st.Cycles = feedCycles
+	}
+	return prims, st
+}

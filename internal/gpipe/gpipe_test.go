@@ -1,0 +1,238 @@
+package gpipe
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mem"
+	"repro/internal/mem/cache"
+	"repro/internal/mem/dram"
+	"repro/internal/scene"
+	"repro/internal/shader"
+)
+
+func testPipeline() *Pipeline {
+	hier := mem.NewHierarchy(
+		cache.Config{Name: "L2", SizeBytes: 64 * 1024, LineBytes: 64, Ways: 8, HitLatency: 18},
+		dram.Config{},
+	)
+	vc := cache.Config{Name: "vertex", SizeBytes: 4 * 1024, LineBytes: 64, Ways: 2, HitLatency: 1}
+	return New(DefaultConfig(), vc, hier)
+}
+
+func ortho01Scene() *scene.Scene {
+	s := scene.NewScene()
+	s.Camera.Proj = geom.Ortho(0, 1, 0, 1, -10, 10)
+	return s
+}
+
+func TestQuadProducesTwoTriangles(t *testing.T) {
+	s := ortho01Scene()
+	s.Add(scene.DrawCall{
+		Mesh:     scene.NewQuad(1, 1),
+		Material: scene.Material{Program: shader.Flat},
+		Model:    geom.Translate(0.5, 0.5, 0).Mul(geom.ScaleM(0.5, 0.5, 1)),
+	})
+	p := testPipeline()
+	prims, st := p.Run(s, 640, 360, 0)
+	if len(prims) != 2 {
+		t.Fatalf("prims = %d, want 2", len(prims))
+	}
+	if st.PrimsOut != 2 || st.PrimsIn != 2 || st.PrimsRejected != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Quad spans [0.25, 0.75]² of a 640x360 screen: 160..480 x 90..270.
+	b := prims[0].ScreenBounds(640, 360)
+	if b.MinX < 155 || b.MaxX > 485 || b.MinY < 85 || b.MaxY > 275 {
+		t.Errorf("screen bounds = %+v", b)
+	}
+	if st.Cycles <= 0 {
+		t.Error("geometry must take time")
+	}
+	if st.Instructions == 0 || st.VertexFetches == 0 {
+		t.Error("vertex work not accounted")
+	}
+}
+
+func TestOffscreenMeshRejected(t *testing.T) {
+	s := ortho01Scene()
+	s.Add(scene.DrawCall{
+		Mesh:     scene.NewQuad(1, 1),
+		Material: scene.Material{Program: shader.Flat},
+		Model:    geom.Translate(5, 5, 0), // far outside [0,1]²
+	})
+	p := testPipeline()
+	prims, st := p.Run(s, 640, 360, 0)
+	if len(prims) != 0 {
+		t.Fatalf("offscreen mesh produced %d prims", len(prims))
+	}
+	if st.PrimsRejected != 2 {
+		t.Errorf("rejected = %d, want 2", st.PrimsRejected)
+	}
+}
+
+func TestStraddlingMeshClipped(t *testing.T) {
+	s := ortho01Scene()
+	// Half on-screen: centered at x=0 so the left half is clipped away.
+	s.Add(scene.DrawCall{
+		Mesh:     scene.NewQuad(1, 1),
+		Material: scene.Material{Program: shader.Flat},
+		Model:    geom.Translate(0, 0.5, 0).Mul(geom.ScaleM(0.5, 0.5, 1)),
+	})
+	p := testPipeline()
+	prims, st := p.Run(s, 640, 360, 0)
+	if st.PrimsClipped == 0 {
+		t.Error("straddling primitives should be clipped")
+	}
+	for _, pr := range prims {
+		for _, v := range pr.V {
+			if v.Pos.X < -0.5 || v.Pos.X > 640.5 {
+				t.Errorf("vertex x=%v outside screen after clipping", v.Pos.X)
+			}
+		}
+	}
+}
+
+func TestProgramOrderPreserved(t *testing.T) {
+	s := ortho01Scene()
+	for i := 0; i < 3; i++ {
+		s.Add(scene.DrawCall{
+			Mesh:     scene.NewQuad(1, 1),
+			Material: scene.Material{Program: shader.Flat},
+			Model:    geom.Translate(0.5, 0.5, 0).Mul(geom.ScaleM(0.3, 0.3, 1)),
+		})
+	}
+	p := testPipeline()
+	prims, _ := p.Run(s, 640, 360, 0)
+	for i := range prims {
+		if prims[i].Seq != i {
+			t.Fatalf("prim %d has seq %d", i, prims[i].Seq)
+		}
+		if i > 0 && prims[i].Draw < prims[i-1].Draw {
+			t.Fatal("draw order not preserved")
+		}
+	}
+}
+
+func TestUVOffsetApplied(t *testing.T) {
+	s := ortho01Scene()
+	s.Add(scene.DrawCall{
+		Mesh:     scene.NewQuad(1, 1),
+		Material: scene.Material{Program: shader.Flat},
+		Model:    geom.Translate(0.5, 0.5, 0).Mul(geom.ScaleM(0.5, 0.5, 1)),
+		UVOffset: geom.V2(0.25, 0.5),
+	})
+	p := testPipeline()
+	prims, _ := p.Run(s, 640, 360, 0)
+	minU := float32(99)
+	for _, pr := range prims {
+		for _, v := range pr.V {
+			if v.UV.X < minU {
+				minU = v.UV.X
+			}
+		}
+	}
+	if minU != 0.25 {
+		t.Errorf("UV offset not applied: min U = %v", minU)
+	}
+}
+
+func TestVertexCacheReuse(t *testing.T) {
+	s := ortho01Scene()
+	m := scene.NewQuad(1, 1)
+	for i := 0; i < 4; i++ {
+		s.Add(scene.DrawCall{
+			Mesh:     m,
+			Material: scene.Material{Program: shader.Flat},
+			Model:    geom.Translate(0.5, 0.5, 0).Mul(geom.ScaleM(0.2, 0.2, 1)),
+		})
+	}
+	p := testPipeline()
+	_, st := p.Run(s, 640, 360, 0)
+	// Same mesh fetched repeatedly: later fetches hit the vertex cache.
+	if st.VertexMisses >= st.VertexFetches/2 {
+		t.Errorf("vertex cache ineffective: %d misses of %d fetches",
+			st.VertexMisses, st.VertexFetches)
+	}
+}
+
+func TestPerspectiveSceneProducesPrims(t *testing.T) {
+	s := scene.NewScene()
+	s.Camera.Proj = geom.Perspective(1.1, 16.0/9.0, 0.1, 60)
+	s.Camera.View = geom.LookAt(geom.V3(0, 1.5, 3), geom.V3(0, 0, 0), geom.V3(0, 1, 0))
+	s.Add(scene.DrawCall{
+		Mesh:     scene.NewBox(),
+		Material: scene.Material{Program: shader.Lit, DepthWrite: true},
+	})
+	p := testPipeline()
+	prims, st := p.Run(s, 640, 360, 0)
+	if len(prims) == 0 {
+		t.Fatal("visible box produced no primitives")
+	}
+	for _, pr := range prims {
+		for _, v := range pr.V {
+			if v.Pos.Z < -0.01 || v.Pos.Z > 1.01 {
+				t.Errorf("depth %v outside [0,1]", v.Pos.Z)
+			}
+			if v.Pos.W <= 0 {
+				t.Errorf("clip w %v should be positive for visible geometry", v.Pos.W)
+			}
+		}
+	}
+	if st.VerticesShaded != 24 {
+		t.Errorf("box should shade 24 vertices, got %d", st.VerticesShaded)
+	}
+}
+
+func TestDegenerateTrianglesDropped(t *testing.T) {
+	s := ortho01Scene()
+	m := &scene.Mesh{
+		Vertices: []scene.MeshVertex{
+			{Pos: geom.V3(0.1, 0.1, 0)},
+			{Pos: geom.V3(0.5, 0.5, 0)},
+			{Pos: geom.V3(0.9, 0.9, 0)}, // collinear
+		},
+		Indices: []int{0, 1, 2},
+	}
+	s.Add(scene.DrawCall{Mesh: m, Material: scene.Material{Program: shader.Flat}})
+	p := testPipeline()
+	prims, _ := p.Run(s, 640, 360, 0)
+	if len(prims) != 0 {
+		t.Errorf("degenerate triangle should be dropped, got %d prims", len(prims))
+	}
+}
+
+func TestBackfaceCulling(t *testing.T) {
+	s := ortho01Scene()
+	// A clockwise triangle (negative screen-space area).
+	m := &scene.Mesh{
+		Vertices: []scene.MeshVertex{
+			{Pos: geom.V3(0.1, 0.1, 0)},
+			{Pos: geom.V3(0.1, 0.9, 0)},
+			{Pos: geom.V3(0.9, 0.1, 0)},
+		},
+		Indices: []int{0, 1, 2},
+	}
+	s.Add(scene.DrawCall{Mesh: m, Material: scene.Material{Program: shader.Flat}})
+
+	hier := mem.NewHierarchy(
+		cache.Config{Name: "L2", SizeBytes: 64 * 1024, LineBytes: 64, Ways: 8, HitLatency: 18},
+		dram.Config{},
+	)
+	vc := cache.Config{Name: "vertex", SizeBytes: 4 * 1024, LineBytes: 64, Ways: 2, HitLatency: 1}
+
+	cfg := DefaultConfig()
+	cfg.BackfaceCull = true
+	culled := New(cfg, vc, hier)
+	prims, st := culled.Run(s, 640, 360, 0)
+	if len(prims) != 0 || st.PrimsBackface != 1 {
+		t.Errorf("clockwise triangle should be culled: %d prims, %d backface", len(prims), st.PrimsBackface)
+	}
+
+	// Default: double-sided.
+	open := New(DefaultConfig(), vc, hier)
+	prims, st = open.Run(s, 640, 360, 0)
+	if len(prims) != 1 || st.PrimsBackface != 0 {
+		t.Errorf("double-sided default should keep the triangle: %d prims", len(prims))
+	}
+}

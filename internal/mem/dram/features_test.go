@@ -1,0 +1,68 @@
+package dram
+
+import "testing"
+
+func TestRefreshStallsAndClosesRow(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RefreshInterval = 1000
+	cfg.RefreshLatency = 120
+	d := New(cfg)
+
+	// First access in window 0 pays refresh (window 0 > initial -? window 0
+	// == refWindow 0, so no charge) — warm the row.
+	d.Access(0, 0, false)
+	d.Access(100, 0, false) // row hit, same window
+	if d.Stats().RowHits != 1 {
+		t.Fatalf("expected a row hit before refresh, got %+v", d.Stats())
+	}
+	// Crossing into window 1: refresh fires, row closes.
+	done := d.Access(1500, 0, false)
+	s := d.Stats()
+	if s.Refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", s.Refreshes)
+	}
+	// The access pays refresh latency plus a full row miss.
+	if lat := done - 1500; lat < 120+30 {
+		t.Errorf("post-refresh latency = %d, want >= 150", lat)
+	}
+	if s.RowMisses != 2 { // initial miss + post-refresh miss
+		t.Errorf("row misses = %d, want 2", s.RowMisses)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	d := New(smallConfig())
+	for i := 0; i < 100; i++ {
+		d.Access(int64(i)*1000, 0, false)
+	}
+	if d.Stats().Refreshes != 0 {
+		t.Error("refresh should be disabled when interval is 0")
+	}
+}
+
+func TestPostedWritesReleaseBankEarly(t *testing.T) {
+	base := smallConfig()
+	posted := base
+	posted.PostedWrites = true
+
+	run := func(cfg Config) int64 {
+		d := New(cfg)
+		d.Access(0, 0, true)             // write to bank 0
+		return d.Access(1, 0, false) - 1 // read right behind it
+	}
+	if lp, lb := run(posted), run(base); lp >= lb {
+		t.Errorf("posted write should unblock the read sooner: posted=%d, blocking=%d", lp, lb)
+	}
+}
+
+func TestPostedWritesOnlyAffectWrites(t *testing.T) {
+	cfg := smallConfig()
+	cfg.PostedWrites = true
+	d := New(cfg)
+	d.Access(0, 0, false)            // read
+	lat := d.Access(1, 32*64, false) // row conflict read right behind
+	// The second read still waits for the full first access.
+	if lat-1 < 2*30-1 {
+		t.Errorf("reads must still serialize on the bank: lat=%d", lat-1)
+	}
+}

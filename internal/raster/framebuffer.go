@@ -1,0 +1,97 @@
+// Package raster implements the per-tile Raster Pipeline (§II-A): edge
+// function rasterization into 2×2 quads, perspective-correct attribute
+// interpolation, Early-Z/Late-Z against the on-chip Z-Buffer, the fragment
+// stage (procedural texture sampling that generates the texture address
+// streams), blending into the on-chip Color Buffer, and the Color Buffer
+// flush to the Frame Buffer.
+//
+// Rendering is done in a *functional* pass that produces both the final
+// pixels (for the image-invariance property) and a TileWork trace — quads
+// with instruction counts and texture line addresses — that the timing
+// engine replays against the memory hierarchy.
+package raster
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mem"
+	"repro/internal/tiling"
+)
+
+// FrameBuffer is the full-screen color target in main memory.
+type FrameBuffer struct {
+	W, H   int
+	Pixels []uint32
+}
+
+// NewFrameBuffer allocates a cleared frame buffer.
+func NewFrameBuffer(w, h int) *FrameBuffer {
+	return &FrameBuffer{W: w, H: h, Pixels: make([]uint32, w*h)}
+}
+
+// Clear resets every pixel to the clear color.
+func (fb *FrameBuffer) Clear(color uint32) {
+	for i := range fb.Pixels {
+		fb.Pixels[i] = color
+	}
+}
+
+// At returns the pixel at (x, y).
+func (fb *FrameBuffer) At(x, y int) uint32 { return fb.Pixels[y*fb.W+x] }
+
+// Hash returns a FNV-1a digest of the frame contents; identical rendering
+// must produce identical hashes regardless of tile scheduling.
+func (fb *FrameBuffer) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, p := range fb.Pixels {
+		buf[0] = byte(p)
+		buf[1] = byte(p >> 8)
+		buf[2] = byte(p >> 16)
+		buf[3] = byte(p >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// PPM renders the frame as a binary PPM (P6) image for visual inspection of
+// the rendered output.
+func (fb *FrameBuffer) PPM() []byte {
+	header := fmt.Sprintf("P6\n%d %d\n255\n", fb.W, fb.H)
+	out := make([]byte, 0, len(header)+fb.W*fb.H*3)
+	out = append(out, header...)
+	// Flip vertically: the renderer's y axis points up, image files' down.
+	for y := fb.H - 1; y >= 0; y-- {
+		for x := 0; x < fb.W; x++ {
+			p := fb.Pixels[y*fb.W+x]
+			out = append(out, byte(p>>16), byte(p>>8), byte(p))
+		}
+	}
+	return out
+}
+
+// PixelAddr returns the main-memory address of pixel (x, y) in the Frame
+// Buffer region.
+func (fb *FrameBuffer) PixelAddr(x, y int) uint64 {
+	return mem.FrameBase + uint64(y*fb.W+x)*4
+}
+
+// TileFlushLines returns the distinct frame-buffer line addresses written
+// when the given tile's Color Buffer is flushed (§II-A: the Color Buffer is
+// entirely written to main memory once per tile).
+func (fb *FrameBuffer) TileFlushLines(grid tiling.Grid, tileID int) []uint64 {
+	r := grid.TileRect(tileID)
+	var lines []uint64
+	var last uint64 = ^uint64(0)
+	for y := r.MinY; y <= r.MaxY; y++ {
+		for x := r.MinX; x <= r.MaxX; x++ {
+			line := fb.PixelAddr(x, y) &^ 63
+			if line != last {
+				lines = append(lines, line)
+				last = line
+			}
+		}
+	}
+	return lines
+}

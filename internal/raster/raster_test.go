@@ -1,0 +1,342 @@
+package raster
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/gpipe"
+	"repro/internal/scene"
+	"repro/internal/shader"
+	"repro/internal/tiling"
+)
+
+// buildScene creates a one-draw scene whose material can be customized.
+func buildScene(mat scene.Material) *scene.Scene {
+	s := scene.NewScene()
+	s.Add(scene.DrawCall{Mesh: scene.NewQuad(1, 1), Material: mat})
+	return s
+}
+
+// tri builds a screen-space primitive for draw 0.
+func tri(ax, ay, bx, by, cx, cy, z float32) gpipe.Primitive {
+	var p gpipe.Primitive
+	p.V[0] = geom.Vertex{Pos: geom.Vec4{X: ax, Y: ay, Z: z, W: 1}, UV: geom.V2(0, 0), Color: geom.V3(1, 1, 1)}
+	p.V[1] = geom.Vertex{Pos: geom.Vec4{X: bx, Y: by, Z: z, W: 1}, UV: geom.V2(1, 0), Color: geom.V3(1, 1, 1)}
+	p.V[2] = geom.Vertex{Pos: geom.Vec4{X: cx, Y: cy, Z: z, W: 1}, UV: geom.V2(0, 1), Color: geom.V3(1, 1, 1)}
+	return p
+}
+
+func refs(n int) []tiling.PrimRef {
+	out := make([]tiling.PrimRef, n)
+	for i := range out {
+		out[i] = tiling.PrimRef{Prim: i, Addr: uint64(0x2000_0000 + i*32)}
+	}
+	return out
+}
+
+func TestRenderSingleTriangle(t *testing.T) {
+	grid := tiling.NewGrid(64, 64)
+	sc := buildScene(scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true})
+	prims := []gpipe.Primitive{tri(0, 0, 32, 0, 0, 32, 0.5)}
+	fb := NewFrameBuffer(64, 64)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, prims, refs(1), 0, fb)
+
+	// Half of a 32x32 tile ≈ 512 pixels (the diagonal's fill rule may vary
+	// by a row).
+	if w.PixelsCovered < 450 || w.PixelsCovered > 560 {
+		t.Errorf("covered pixels = %d, want ~512", w.PixelsCovered)
+	}
+	if w.FragmentsShaded != w.PixelsCovered {
+		t.Errorf("all covered fragments should shade on a fresh tile: %d vs %d",
+			w.FragmentsShaded, w.PixelsCovered)
+	}
+	if w.Instructions == 0 || len(w.Quads) == 0 {
+		t.Error("work trace is empty")
+	}
+	// A pixel deep inside the triangle got a non-clear color.
+	if fb.At(4, 4) == ClearColor {
+		t.Error("interior pixel not shaded")
+	}
+	// A pixel inside the tile but outside the triangle flushes clear.
+	if fb.At(30, 30) != ClearColor {
+		t.Error("pixel outside the triangle should flush the clear color")
+	}
+	// A pixel in a tile that was never rendered stays zero.
+	if fb.At(40, 40) != 0 {
+		t.Error("unrendered tile was modified")
+	}
+}
+
+func TestEarlyZKillsOccludedFragments(t *testing.T) {
+	grid := tiling.NewGrid(32, 32)
+	sc := scene.NewScene()
+	mat := scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true}
+	sc.Add(scene.DrawCall{Mesh: scene.NewQuad(1, 1), Material: mat})
+	sc.Add(scene.DrawCall{Mesh: scene.NewQuad(1, 1), Material: mat})
+
+	near := tri(0, 0, 32, 0, 0, 32, 0.2)
+	far := tri(0, 0, 32, 0, 0, 32, 0.8)
+	far.Draw = 1
+	fb := NewFrameBuffer(32, 32)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, []gpipe.Primitive{near, far}, refs(2), 0, fb)
+
+	if w.FragmentsKilled == 0 {
+		t.Fatal("Early-Z should kill the occluded second triangle")
+	}
+	if w.FragmentsKilled != w.PixelsCovered/2 {
+		t.Errorf("killed = %d, covered = %d: second triangle should be fully occluded",
+			w.FragmentsKilled, w.PixelsCovered)
+	}
+}
+
+func TestLateZShadesThenDiscards(t *testing.T) {
+	grid := tiling.NewGrid(32, 32)
+	sc := scene.NewScene()
+	opaque := scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true}
+	lateZ := scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true, ForceLateZ: true}
+	sc.Add(scene.DrawCall{Mesh: scene.NewQuad(1, 1), Material: opaque})
+	sc.Add(scene.DrawCall{Mesh: scene.NewQuad(1, 1), Material: lateZ})
+
+	near := tri(0, 0, 32, 0, 0, 32, 0.2)
+	behind := tri(0, 0, 32, 0, 0, 32, 0.9)
+	behind.Draw = 1
+	fb := NewFrameBuffer(32, 32)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, []gpipe.Primitive{near, behind}, refs(2), 0, fb)
+
+	// Late-Z fragments are shaded (cost paid) even though discarded.
+	if w.FragmentsKilled != 0 {
+		t.Errorf("Late-Z fragments should not count as early-killed, got %d", w.FragmentsKilled)
+	}
+	if w.FragmentsShaded != w.PixelsCovered {
+		t.Errorf("Late-Z should shade all covered fragments: %d vs %d", w.FragmentsShaded, w.PixelsCovered)
+	}
+	// But the image must show the near triangle.
+	hash1 := fb.Hash()
+	fb2 := NewFrameBuffer(32, 32)
+	r2 := NewRenderer(grid)
+	r2.RenderTile(sc, []gpipe.Primitive{near}, refs(1), 0, fb2)
+	if fb2.Hash() != hash1 {
+		t.Error("occluded Late-Z triangle changed the image")
+	}
+}
+
+func TestSharedEdgeNoDoubleCoverage(t *testing.T) {
+	// Two triangles forming a quad: every interior pixel covered exactly
+	// once (top-left fill rule).
+	grid := tiling.NewGrid(32, 32)
+	sc := buildScene(scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true})
+	a := tri(0, 0, 32, 0, 0, 32, 0.5)
+	b := tri(32, 0, 32, 32, 0, 32, 0.5)
+	fb := NewFrameBuffer(32, 32)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, []gpipe.Primitive{a, b}, refs(2), 0, fb)
+	if w.PixelsCovered != 32*32 {
+		t.Errorf("quad coverage = %d, want 1024 (no double-coverage on shared edge)", w.PixelsCovered)
+	}
+}
+
+func TestTexturedQuadGeneratesTextureTraffic(t *testing.T) {
+	grid := tiling.NewGrid(32, 32)
+	alloc := scene.NewTextureAllocator()
+	tex := alloc.Alloc(256, 256)
+	sc := buildScene(scene.Material{
+		Program:  shader.Textured,
+		Textures: []*scene.Texture{tex},
+		Blend:    scene.BlendOpaque, DepthWrite: true,
+	})
+	fb := NewFrameBuffer(32, 32)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, []gpipe.Primitive{tri(0, 0, 32, 0, 0, 32, 0.5)}, refs(1), 0, fb)
+	if len(w.TexLines) == 0 {
+		t.Fatal("textured draw produced no texture accesses")
+	}
+	for _, line := range w.TexLines {
+		if line < tex.Base || line >= tex.Base+tex.SizeBytes() {
+			t.Fatalf("texture line %#x outside texture range", line)
+		}
+		if line%64 != 0 {
+			t.Fatalf("texture access %#x not line-aligned", line)
+		}
+	}
+	// Quad records index into TexLines consistently.
+	var total int
+	for _, q := range w.Quads {
+		if int(q.TexStart)+int(q.TexCount) > len(w.TexLines) {
+			t.Fatal("quad tex range out of bounds")
+		}
+		total += int(q.TexCount)
+	}
+	if total != len(w.TexLines) {
+		t.Errorf("quad tex counts (%d) != flat array (%d)", total, len(w.TexLines))
+	}
+}
+
+func TestMipLevelSelection(t *testing.T) {
+	// Minified texture (large UV derivative) picks a coarser level.
+	if l := mipLevel(geom.V2(0.25, 0), geom.V2(0, 0.25), 256, 256); l < 5 || l > 7 {
+		t.Errorf("minified mip level = %d, want ~6", l)
+	}
+	// Magnified: level 0.
+	if l := mipLevel(geom.V2(0.001, 0), geom.V2(0, 0.001), 256, 256); l != 0 {
+		t.Errorf("magnified mip level = %d, want 0", l)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	grid := tiling.NewGrid(64, 64)
+	alloc := scene.NewTextureAllocator()
+	tex := alloc.Alloc(128, 128)
+	sc := buildScene(scene.Material{
+		Program:  shader.Multitexture,
+		Textures: []*scene.Texture{tex},
+		Blend:    scene.BlendAlpha,
+	})
+	prims := []gpipe.Primitive{
+		tri(0, 0, 60, 4, 8, 60, 0.4),
+		tri(5, 5, 50, 20, 20, 55, 0.3),
+	}
+	run := func() uint64 {
+		fb := NewFrameBuffer(64, 64)
+		r := NewRenderer(grid)
+		for id := 0; id < grid.NumTiles(); id++ {
+			r.RenderTile(sc, prims, refs(2), id, fb)
+		}
+		return fb.Hash()
+	}
+	if run() != run() {
+		t.Error("rendering must be deterministic")
+	}
+}
+
+func TestBlendModes(t *testing.T) {
+	d := packColor(geom.V3(0.2, 0.2, 0.2))
+	src := geom.V3(1, 1, 1)
+	if blendPixel(scene.BlendOpaque, d, src) != packColor(src) {
+		t.Error("opaque blend should replace")
+	}
+	add := blendPixel(scene.BlendAdditive, d, src)
+	if add != packColor(geom.V3(1, 1, 1)) {
+		t.Error("additive blend should saturate at white")
+	}
+	al := unpackColor(blendPixel(scene.BlendAlpha, packColor(geom.V3(0, 0, 0)), src))
+	if al.X < 0.7 || al.X > 0.8 {
+		t.Errorf("alpha blend = %v, want ~0.75", al.X)
+	}
+}
+
+func TestColorPackRoundTrip(t *testing.T) {
+	c := geom.V3(0.5, 0.25, 1)
+	got := unpackColor(packColor(c))
+	if geom.Abs(got.X-0.5) > 0.01 || geom.Abs(got.Y-0.25) > 0.01 || geom.Abs(got.Z-1) > 0.01 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestFlushLinesFullTile(t *testing.T) {
+	grid := tiling.NewGrid(64, 64)
+	fb := NewFrameBuffer(64, 64)
+	lines := fb.TileFlushLines(grid, 0)
+	// 32 rows × 128 bytes per row = 64 lines.
+	if len(lines) != 64 {
+		t.Errorf("full tile flush = %d lines, want 64", len(lines))
+	}
+	seen := map[uint64]bool{}
+	for _, l := range lines {
+		if l%64 != 0 {
+			t.Fatalf("flush address %#x not line-aligned", l)
+		}
+		if seen[l] {
+			t.Fatalf("duplicate flush line %#x", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestEmptyTileStillFlushes(t *testing.T) {
+	grid := tiling.NewGrid(64, 64)
+	sc := buildScene(scene.Material{Program: shader.Flat})
+	fb := NewFrameBuffer(64, 64)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, nil, nil, 3, fb)
+	if len(w.FlushLines) == 0 {
+		t.Error("empty tile must still flush its Color Buffer")
+	}
+	if w.Instructions != 0 || len(w.Quads) != 0 {
+		t.Error("empty tile should have no shading work")
+	}
+	if fb.At(40, 40) != ClearColor {
+		t.Error("empty tile should flush the clear color")
+	}
+}
+
+func TestFrameBufferHashSensitive(t *testing.T) {
+	a := NewFrameBuffer(8, 8)
+	b := NewFrameBuffer(8, 8)
+	if a.Hash() != b.Hash() {
+		t.Error("identical buffers must hash equal")
+	}
+	b.Pixels[13] ^= 1
+	if a.Hash() == b.Hash() {
+		t.Error("hash must detect a single pixel change")
+	}
+}
+
+func TestRendererZBufferIsolatedPerTile(t *testing.T) {
+	// Rendering tile A then tile B must not leak depth between tiles.
+	grid := tiling.NewGrid(64, 32)
+	sc := buildScene(scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true})
+	near := tri(0, 0, 64, 0, 0, 32, 0.1) // spans both tiles
+	fb := NewFrameBuffer(64, 32)
+	r := NewRenderer(grid)
+	r.RenderTile(sc, []gpipe.Primitive{near}, refs(1), 0, fb)
+	w := r.RenderTile(sc, []gpipe.Primitive{near}, refs(1), 1, fb)
+	if w.FragmentsShaded == 0 {
+		t.Error("second tile should shade fragments (fresh Z-buffer per tile)")
+	}
+}
+
+func TestSamplesAccounting(t *testing.T) {
+	grid := tiling.NewGrid(32, 32)
+	alloc := scene.NewTextureAllocator()
+	tex := alloc.Alloc(128, 128)
+	sc := buildScene(scene.Material{
+		Program:  shader.Multitexture, // 2 samples per fragment
+		Textures: []*scene.Texture{tex},
+		Blend:    scene.BlendOpaque, DepthWrite: true,
+	})
+	fb := NewFrameBuffer(32, 32)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, []gpipe.Primitive{tri(0, 0, 32, 0, 0, 32, 0.5)}, refs(1), 0, fb)
+	var samples, frags int
+	for _, q := range w.Quads {
+		samples += int(q.Samples)
+		frags += int(q.Fragments)
+		// Coalescing means distinct lines never exceed issued samples...
+		// except bilinear/trilinear footprints (disabled here).
+		if int(q.TexCount) > int(q.Samples) {
+			t.Fatalf("quad touches %d lines with only %d samples (nearest)", q.TexCount, q.Samples)
+		}
+	}
+	if samples != frags*2 {
+		t.Errorf("samples = %d, want fragments*2 = %d", samples, frags*2)
+	}
+}
+
+func TestFlatDrawsHaveNoSamples(t *testing.T) {
+	grid := tiling.NewGrid(32, 32)
+	sc := buildScene(scene.Material{Program: shader.Flat, Blend: scene.BlendOpaque, DepthWrite: true})
+	fb := NewFrameBuffer(32, 32)
+	r := NewRenderer(grid)
+	w := r.RenderTile(sc, []gpipe.Primitive{tri(0, 0, 32, 0, 0, 32, 0.5)}, refs(1), 0, fb)
+	for _, q := range w.Quads {
+		if q.Samples != 0 || q.TexCount != 0 {
+			t.Fatal("flat shading must not sample textures")
+		}
+	}
+	if len(w.TexLines) != 0 {
+		t.Error("flat tile has texture lines")
+	}
+}

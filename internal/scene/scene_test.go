@@ -1,0 +1,211 @@
+package scene
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/mem"
+	"repro/internal/shader"
+)
+
+func TestTextureLayout(t *testing.T) {
+	tx := NewTexture(0, 256, 128, 0x1000, 0)
+	// Levels: 256x128 -> ... -> 1x1 gives 9 levels (len(256)=9).
+	if tx.Levels != 9 {
+		t.Errorf("levels = %d, want 9", tx.Levels)
+	}
+	w, h := tx.LevelDims(0)
+	if w != 256 || h != 128 {
+		t.Errorf("level 0 dims = %dx%d", w, h)
+	}
+	w, h = tx.LevelDims(8)
+	if w != 1 || h != 1 {
+		t.Errorf("last level dims = %dx%d", w, h)
+	}
+	// Footprint: sum of levels, ≥ base level alone, < 2x base level.
+	base := uint64(256 * 128 * TexelBytes)
+	if tx.SizeBytes() < base || tx.SizeBytes() > base*3/2 {
+		t.Errorf("size = %d, base = %d", tx.SizeBytes(), base)
+	}
+}
+
+func TestTexturePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two texture")
+		}
+	}()
+	NewTexture(0, 100, 64, 0, 0)
+}
+
+func TestTexelAddrInRange(t *testing.T) {
+	tx := NewTexture(0, 64, 64, 0x1000, 0)
+	f := func(u, v float32, l uint8) bool {
+		a := tx.TexelAddr(u, v, int(l%8))
+		return a >= tx.Base && a < tx.Base+tx.SizeBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTexelAddrSpatialLocality(t *testing.T) {
+	tx := NewTexture(0, 64, 64, 0, 0)
+	// Adjacent texels inside one 4x4 block share a cache line.
+	a := tx.TexelAddr(0.01, 0.01, 0) // texel (0,0)
+	b := tx.TexelAddr(0.03, 0.03, 0) // texel (1,1) – wait, 0.03*64 = 1.9 -> texel 1
+	if a/64 != b/64 {
+		t.Errorf("texels in the same block should share a line: %#x vs %#x", a, b)
+	}
+	// Distinct blocks get distinct lines.
+	c := tx.TexelAddr(0.5, 0.5, 0)
+	if a/64 == c/64 {
+		t.Error("distant texels should not share a line")
+	}
+}
+
+func TestTexelAddrWraps(t *testing.T) {
+	tx := NewTexture(0, 64, 64, 0, 0)
+	a := tx.TexelAddr(0.25, 0.25, 0)
+	b := tx.TexelAddr(1.25, -0.75, 0)
+	if a != b {
+		t.Errorf("repeat addressing should wrap: %#x vs %#x", a, b)
+	}
+}
+
+func TestTexelAddrClampsLevel(t *testing.T) {
+	tx := NewTexture(0, 16, 16, 0, 0)
+	lo := tx.TexelAddr(0.5, 0.5, -3)
+	hi := tx.TexelAddr(0.5, 0.5, 99)
+	if lo < tx.Base || hi >= tx.Base+tx.SizeBytes() {
+		t.Error("clamped levels out of range")
+	}
+}
+
+func TestTextureAllocatorDisjoint(t *testing.T) {
+	a := NewTextureAllocator()
+	t1 := a.Alloc(128, 128)
+	t2 := a.Alloc(64, 64)
+	if t1.ID == t2.ID {
+		t.Error("IDs must be unique")
+	}
+	if t2.Base < t1.Base+t1.SizeBytes() {
+		t.Error("texture ranges overlap")
+	}
+	if t1.Base < mem.TextureBase {
+		t.Error("textures must live in the texture region")
+	}
+}
+
+func TestMeshBuilders(t *testing.T) {
+	q := NewQuad(1, 1)
+	if q.TriangleCount() != 2 || len(q.Vertices) != 4 {
+		t.Errorf("quad: %d tris, %d verts", q.TriangleCount(), len(q.Vertices))
+	}
+	g := NewGrid(4, 3, nil)
+	if g.TriangleCount() != 4*3*2 {
+		t.Errorf("grid tris = %d, want 24", g.TriangleCount())
+	}
+	if len(g.Vertices) != 5*4 {
+		t.Errorf("grid verts = %d, want 20", len(g.Vertices))
+	}
+	b := NewBox()
+	if b.TriangleCount() != 12 {
+		t.Errorf("box tris = %d, want 12", b.TriangleCount())
+	}
+	d := NewDisc(8)
+	if d.TriangleCount() != 8 {
+		t.Errorf("disc tris = %d, want 8", d.TriangleCount())
+	}
+	if NewDisc(1).TriangleCount() != 3 {
+		t.Error("degenerate disc should clamp to 3 segments")
+	}
+}
+
+func TestGridHeightFunction(t *testing.T) {
+	g := NewGrid(2, 2, func(x, z float32) float32 { return x + z })
+	found := false
+	for _, v := range g.Vertices {
+		if v.Pos.Y != 0 {
+			found = true
+		}
+		if v.Pos.Y != v.Pos.X+v.Pos.Z {
+			t.Fatalf("height function not applied: %+v", v.Pos)
+		}
+	}
+	if !found {
+		t.Error("height function had no effect")
+	}
+}
+
+func TestSceneAddAssignsAddresses(t *testing.T) {
+	s := NewScene()
+	m1 := NewQuad(1, 1)
+	m2 := NewQuad(1, 1)
+	s.Add(DrawCall{Mesh: m1, Material: Material{Program: shader.Flat}})
+	s.Add(DrawCall{Mesh: m2, Material: Material{Program: shader.Flat}})
+	if m1.Base == 0 || m2.Base == 0 {
+		t.Fatal("meshes should get geometry addresses")
+	}
+	if m1.Base == m2.Base {
+		t.Error("distinct meshes must have distinct addresses")
+	}
+	if m1.Base < mem.GeometryBase {
+		t.Error("mesh addresses must live in the geometry region")
+	}
+	if s.DrawCalls[0].VertexProgram.Name != shader.BasicVertex.Name {
+		t.Error("default vertex program not applied")
+	}
+	if s.TriangleCount() != 4 {
+		t.Errorf("triangle count = %d, want 4", s.TriangleCount())
+	}
+}
+
+func TestSceneAddKeepsExistingBase(t *testing.T) {
+	s := NewScene()
+	m := NewQuad(1, 1)
+	s.Add(DrawCall{Mesh: m, Material: Material{Program: shader.Flat}})
+	base := m.Base
+	s.Add(DrawCall{Mesh: m, Material: Material{Program: shader.Flat}})
+	if m.Base != base {
+		t.Error("re-adding a mesh must not reassign its address")
+	}
+}
+
+func TestTextureFootprint(t *testing.T) {
+	s := NewScene()
+	alloc := NewTextureAllocator()
+	tex := alloc.Alloc(64, 64)
+	mat := Material{Program: shader.Textured, Textures: []*Texture{tex}}
+	s.Add(DrawCall{Mesh: NewQuad(1, 1), Material: mat})
+	s.Add(DrawCall{Mesh: NewQuad(1, 1), Material: mat}) // same texture twice
+	if got := s.TextureFootprintBytes(); got != tex.SizeBytes() {
+		t.Errorf("footprint = %d, want %d (shared texture counted once)", got, tex.SizeBytes())
+	}
+}
+
+func TestVertexAddr(t *testing.T) {
+	m := NewQuad(1, 1)
+	m.Base = 0x1000
+	if m.VertexAddr(0) != 0x1000 || m.VertexAddr(2) != 0x1000+2*VertexBytes {
+		t.Error("vertex addressing wrong")
+	}
+}
+
+func TestCameraViewProj(t *testing.T) {
+	c := Camera{View: geom.Translate(1, 0, 0), Proj: geom.ScaleM(2, 2, 2)}
+	p := c.ViewProj().MulPoint(geom.V3(0, 0, 0))
+	if p != (geom.V3(2, 0, 0)) {
+		t.Errorf("view-proj composition = %v", p)
+	}
+}
+
+func TestShaderCosts(t *testing.T) {
+	if shader.Flat.InstructionsPerInvocation() != 5 {
+		t.Errorf("flat cost = %d", shader.Flat.InstructionsPerInvocation())
+	}
+	if shader.LitDetail.InstructionsPerInvocation() <= shader.Sprite.InstructionsPerInvocation() {
+		t.Error("lit-detail must cost more than sprite")
+	}
+}

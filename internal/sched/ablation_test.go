@@ -1,0 +1,70 @@
+package sched
+
+import "testing"
+
+func TestHilbertQueueCoversAllTiles(t *testing.T) {
+	g := grid()
+	s := NewHilbertQueue(g)
+	if s.Name() != "hilbert" {
+		t.Error("wrong name")
+	}
+	assertPartition(t, g, drain(s, 2))
+}
+
+func TestReverseQueueAlternates(t *testing.T) {
+	g := grid()
+	fwd := drain(NewReverseQueue(g, 0), 1)[0]
+	rev := drain(NewReverseQueue(g, 1), 1)[0]
+	if fwd[0] != rev[len(rev)-1] || fwd[len(fwd)-1] != rev[0] {
+		t.Error("odd frames should reverse the traversal")
+	}
+	assertPartition(t, g, [][]int{fwd})
+	assertPartition(t, g, [][]int{rev})
+}
+
+func TestRandomQueueSeededAndComplete(t *testing.T) {
+	g := grid()
+	a := drain(NewRandomQueue(g, 7), 1)[0]
+	b := drain(NewRandomQueue(g, 7), 1)[0]
+	c := drain(NewRandomQueue(g, 8), 1)[0]
+	assertPartition(t, g, [][]int{a})
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Error("same seed must give same order")
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestAlternatingTemperature(t *testing.T) {
+	g := grid()
+	super, tt := rankedTable(g, 2, 0, 7)
+	ranked := RankSupertiles(super, tt)
+	s := NewAlternatingTemperature(super, ranked, 2)
+	if s.Name() != "alt-temperature" {
+		t.Error("wrong name")
+	}
+	assignment := drain(s, 2)
+	assertPartition(t, g, assignment)
+	// First two supertiles dispatched should be the hottest and coldest.
+	first := super.SupertileOf(assignment[0][0])
+	second := super.SupertileOf(assignment[1][0])
+	if first != ranked[0] {
+		t.Errorf("first dispatch should be hottest %d, got %d", ranked[0], first)
+	}
+	if second != ranked[len(ranked)-1] {
+		t.Errorf("second dispatch should be coldest %d, got %d", ranked[len(ranked)-1], second)
+	}
+}

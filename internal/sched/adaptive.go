@@ -1,0 +1,229 @@
+package sched
+
+// This file implements the adaptive per-frame controller of §III-D and
+// Fig. 10: the FSM that chooses the tile traversal order (Z-order vs
+// temperature-aware) and dynamically resizes supertiles, from one frame's
+// metrics to the next.
+//
+// The hardware budget of §III-E is "four counters to store the number of
+// cycles and the texture caches hit ratio of the last two frames" plus a
+// small FSM. This implementation keeps exactly that state as one
+// (cycles, hit-ratio) pair per ordering mode: whenever both modes have been
+// sampled, the controller can compare them directly, which is what makes
+// order switches converge instead of oscillating.
+
+// OrderMode is the tile traversal scheme for a frame.
+type OrderMode int
+
+// Traversal schemes.
+const (
+	ModeZOrder OrderMode = iota
+	ModeTemperature
+)
+
+func (m OrderMode) String() string {
+	if m == ModeTemperature {
+		return "temperature"
+	}
+	return "zorder"
+}
+
+// AdaptiveConfig holds the controller's thresholds.
+type AdaptiveConfig struct {
+	// HitRatioThreshold disables the temperature order when the previous
+	// frame's texture hit ratio exceeded it. The paper's criterion is a
+	// hit ratio high enough that "it is unlikely to have congestion in
+	// main memory" (80% on TEAPOT's per-access scale; 92% on this
+	// simulator's coalesced-sample scale — see DESIGN.md).
+	HitRatioThreshold float64
+	// OrderSwitchThreshold is the relative performance variation that
+	// triggers an order switch (§III-D: 3%).
+	OrderSwitchThreshold float64
+	// SupertileResizeThreshold is the relative performance variation that
+	// triggers a supertile resize step (§III-D: 0.25%).
+	SupertileResizeThreshold float64
+	// InitialSupertile is the predetermined starting size (§III-D).
+	InitialSupertile int
+	// ReprobeInterval forces one frame in the currently-unused order every
+	// this many frames, so a stale cross-mode measurement cannot pin the
+	// decision forever (scene content drifts). Zero uses the default.
+	ReprobeInterval int
+}
+
+// DefaultAdaptiveConfig returns the paper's thresholds (with the hit-ratio
+// criterion recalibrated to this simulator's measurement scale).
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		HitRatioThreshold:        0.92,
+		OrderSwitchThreshold:     0.03,
+		SupertileResizeThreshold: 0.0025,
+		InitialSupertile:         4,
+		ReprobeInterval:          10,
+	}
+}
+
+// FrameMetrics is what the controller observes after each frame.
+type FrameMetrics struct {
+	RasterCycles int64   // cycles spent on the Raster Pipeline
+	TexHitRatio  float64 // overall texture-cache hit ratio
+}
+
+// Adaptive is the per-frame scheduling controller.
+type Adaptive struct {
+	cfg AdaptiveConfig
+
+	mode      OrderMode
+	supertile int
+	growing   bool // current direction of the supertile resize hill-climb
+
+	// The four §III-E counters: last observed cycles and hit ratio per
+	// ordering mode (zero = not yet sampled / invalidated).
+	lastCycles [2]int64
+	lastHit    [2]float64
+
+	prevCycles     int64 // previous frame, for the resize hill-climb
+	prevMode       OrderMode
+	frames         int
+	sinceOtherMode int // frames since the non-current mode last ran
+}
+
+// NewAdaptive builds a controller starting in temperature mode with the
+// initial supertile size.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	def := DefaultAdaptiveConfig()
+	if cfg.InitialSupertile == 0 {
+		cfg = def
+	}
+	if cfg.ReprobeInterval == 0 {
+		cfg.ReprobeInterval = def.ReprobeInterval
+	}
+	return &Adaptive{cfg: cfg, mode: ModeTemperature, supertile: cfg.InitialSupertile, growing: true}
+}
+
+// Mode returns the traversal order to use for the current frame.
+func (a *Adaptive) Mode() OrderMode { return a.mode }
+
+// SupertileSize returns the supertile edge (in tiles) for the current frame.
+func (a *Adaptive) SupertileSize() int { return a.supertile }
+
+// Observe feeds the metrics of the frame that just completed together with
+// the ordering that actually produced it (the GPU falls back to Z-order when
+// no previous-frame statistics exist); the controller updates its decisions
+// for the next frame (Fig. 10).
+func (a *Adaptive) Observe(m FrameMetrics, used OrderMode) {
+	mode := used
+	a.frames++
+
+	// Scene-change detection: a large jump versus this mode's own last
+	// sample means the content shifted; the other mode's sample is stale.
+	if last := a.lastCycles[mode]; last > 0 && relDelta(float64(m.RasterCycles), float64(last)) > 0.20 {
+		a.lastCycles[other(mode)] = 0
+	}
+	// The very first frame runs on cold caches; its cycle count is not a
+	// representative sample for cross-mode comparison.
+	if a.frames > 1 {
+		a.lastCycles[mode] = m.RasterCycles
+	}
+	a.lastHit[mode] = m.TexHitRatio
+
+	a.decideOrder(m, mode)
+	a.resizeSupertile(m, mode)
+
+	if a.mode == a.prevMode {
+		a.sinceOtherMode++
+	} else {
+		a.sinceOtherMode = 0
+	}
+	a.prevMode = a.mode
+	a.prevCycles = m.RasterCycles
+}
+
+// decideOrder picks the traversal order for the next frame (Fig. 10).
+func (a *Adaptive) decideOrder(m FrameMetrics, mode OrderMode) {
+	th := a.cfg.OrderSwitchThreshold
+	zc, tc := a.lastCycles[ModeZOrder], a.lastCycles[ModeTemperature]
+
+	switch {
+	case m.TexHitRatio >= a.cfg.HitRatioThreshold:
+		// High hit ratio: congestion unlikely → Z-order, unless a direct
+		// comparison shows the temperature order significantly faster
+		// (§III-D's exception: "for some benchmarks, a temperature-aware
+		// order is more beneficial than Z-order, even if the hit ratio
+		// threshold is exceeded").
+		a.mode = ModeZOrder
+		if zc > 0 && tc > 0 && float64(tc) < float64(zc)*(1-th) {
+			a.mode = ModeTemperature
+		}
+	default:
+		// Low hit ratio: temperature order preferred, unless measured
+		// significantly slower than Z-order.
+		a.mode = ModeTemperature
+		if zc > 0 && tc > 0 && float64(zc) < float64(tc)*(1-th) {
+			a.mode = ModeZOrder
+		}
+	}
+
+	// Exploration: while congestion is plausible (low hit ratio), the
+	// cross-mode comparison needs samples from both orders. Probe the other
+	// mode immediately when it has never been measured (or its sample was
+	// invalidated by a scene change), and periodically thereafter so the
+	// comparison tracks the scene. In the high-hit regime the hit-ratio
+	// rule alone decides and probing would only cost cycles.
+	if m.TexHitRatio < a.cfg.HitRatioThreshold && a.frames > 1 {
+		if a.lastCycles[other(mode)] == 0 || a.sinceOtherMode >= a.cfg.ReprobeInterval-1 {
+			a.mode = other(mode)
+		}
+	}
+}
+
+// resizeSupertile runs the §III-D hill-climb on the supertile size.
+func (a *Adaptive) resizeSupertile(m FrameMetrics, mode OrderMode) {
+	if a.frames < 2 || a.prevCycles == 0 {
+		return
+	}
+	perfDelta := relDelta(float64(m.RasterCycles), float64(a.prevCycles))
+	if perfDelta <= a.cfg.SupertileResizeThreshold {
+		return
+	}
+	if m.RasterCycles > a.prevCycles {
+		// Performance got worse: reverse direction.
+		a.growing = !a.growing
+	}
+	if a.growing {
+		a.supertile = growSupertile(a.supertile)
+	} else {
+		a.supertile = shrinkSupertile(a.supertile)
+	}
+}
+
+func other(m OrderMode) OrderMode {
+	if m == ModeZOrder {
+		return ModeTemperature
+	}
+	return ModeZOrder
+}
+
+func relDelta(cur, prev float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	d := (cur - prev) / prev
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func growSupertile(k int) int {
+	if k < 16 {
+		return k * 2
+	}
+	return 16
+}
+
+func shrinkSupertile(k int) int {
+	if k > 2 {
+		return k / 2
+	}
+	return 2
+}

@@ -1,0 +1,59 @@
+// Package shader models the cost of user-defined vertex and fragment shader
+// programs. The simulator does not execute real shader ISA; instead each
+// program is an archetype with a fixed arithmetic cost and texture-sampling
+// behaviour, which is what determines shader-core occupancy, instruction
+// counts (the denominator of LIBRA's tile temperature) and texture traffic.
+package shader
+
+// Program describes the per-invocation cost of a shader.
+type Program struct {
+	Name string
+	// ALUOps is the number of arithmetic instructions executed per
+	// invocation (per vertex for vertex shaders, per fragment for fragment
+	// shaders), excluding texture operations.
+	ALUOps int
+	// TexSamples is the number of texture fetches per fragment (fragment
+	// shaders only).
+	TexSamples int
+	// Interpolants is the number of varying attributes interpolated per
+	// fragment; it adds a small per-fragment setup cost.
+	Interpolants int
+}
+
+// InstructionsPerInvocation returns the total dynamic instruction count per
+// shader invocation: ALU ops, one issue per texture sample, and one op per
+// interpolant.
+func (p Program) InstructionsPerInvocation() int {
+	return p.ALUOps + p.TexSamples + p.Interpolants
+}
+
+// Fragment shader archetypes, ordered roughly by cost. The ALU/sample ratios
+// follow the workload taxonomy of the paper's benchmark suite: 2D UI and
+// sprite passes are cheap and texture-bound, lit 3D passes are ALU-heavy.
+var (
+	// Flat fills pixels with an interpolated color; no textures.
+	Flat = Program{Name: "flat", ALUOps: 4, TexSamples: 0, Interpolants: 1}
+	// Sprite is the classic 2D game fragment shader: one texture, alpha.
+	Sprite = Program{Name: "sprite", ALUOps: 6, TexSamples: 1, Interpolants: 2}
+	// UI renders HUD widgets: texture plus tinting.
+	UI = Program{Name: "ui", ALUOps: 8, TexSamples: 1, Interpolants: 2}
+	// Textured is a plain diffuse-textured surface.
+	Textured = Program{Name: "textured", ALUOps: 10, TexSamples: 1, Interpolants: 2}
+	// Multitexture blends two textures (detail/light maps).
+	Multitexture = Program{Name: "multitexture", ALUOps: 16, TexSamples: 2, Interpolants: 3}
+	// Lit runs a per-fragment lighting model over one texture.
+	Lit = Program{Name: "lit", ALUOps: 28, TexSamples: 1, Interpolants: 3}
+	// LitDetail is lighting plus a detail texture (terrain, characters).
+	LitDetail = Program{Name: "litdetail", ALUOps: 34, TexSamples: 2, Interpolants: 4}
+	// Particle is additive-blended effects.
+	Particle = Program{Name: "particle", ALUOps: 5, TexSamples: 1, Interpolants: 2}
+	// Procedural is heavy ALU with no textures (compute-bound games).
+	Procedural = Program{Name: "procedural", ALUOps: 48, TexSamples: 0, Interpolants: 2}
+)
+
+// BasicVertex is the standard vertex shader cost: one matrix multiply plus
+// attribute passthrough.
+var BasicVertex = Program{Name: "basic_vs", ALUOps: 20, Interpolants: 0}
+
+// SkinnedVertex models skeletal animation (characters).
+var SkinnedVertex = Program{Name: "skinned_vs", ALUOps: 60, Interpolants: 0}

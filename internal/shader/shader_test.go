@@ -1,0 +1,57 @@
+package shader
+
+import "testing"
+
+func TestInstructionsPerInvocation(t *testing.T) {
+	p := Program{Name: "x", ALUOps: 10, TexSamples: 2, Interpolants: 3}
+	if got := p.InstructionsPerInvocation(); got != 15 {
+		t.Errorf("cost = %d, want 15", got)
+	}
+	if (Program{}).InstructionsPerInvocation() != 0 {
+		t.Error("empty program should cost nothing")
+	}
+}
+
+func TestArchetypeOrdering(t *testing.T) {
+	// The archetype costs must respect the taxonomy: UI/sprite content is
+	// cheap, lit 3D content expensive, procedural the most ALU-heavy.
+	order := []Program{Particle, Sprite, UI, Textured, Multitexture, Lit, LitDetail}
+	for i := 1; i < len(order); i++ {
+		if order[i].InstructionsPerInvocation() < order[i-1].InstructionsPerInvocation() {
+			t.Errorf("%s (%d) should cost at least %s (%d)",
+				order[i].Name, order[i].InstructionsPerInvocation(),
+				order[i-1].Name, order[i-1].InstructionsPerInvocation())
+		}
+	}
+	if Procedural.TexSamples != 0 {
+		t.Error("procedural archetype must not sample textures")
+	}
+	if Procedural.ALUOps <= Lit.ALUOps {
+		t.Error("procedural should be the most ALU-heavy")
+	}
+}
+
+func TestVertexArchetypes(t *testing.T) {
+	if SkinnedVertex.ALUOps <= BasicVertex.ALUOps {
+		t.Error("skinning must cost more than a basic transform")
+	}
+	for _, p := range []Program{BasicVertex, SkinnedVertex} {
+		if p.TexSamples != 0 {
+			t.Errorf("vertex shader %s should not sample textures", p.Name)
+		}
+	}
+}
+
+func TestArchetypeNamesUnique(t *testing.T) {
+	all := []Program{Flat, Sprite, UI, Textured, Multitexture, Lit, LitDetail, Particle, Procedural, BasicVertex, SkinnedVertex}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if p.Name == "" {
+			t.Error("archetype with empty name")
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate archetype name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}

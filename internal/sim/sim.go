@@ -1,0 +1,471 @@
+// Package sim is the discrete-event timing engine of the Raster Pipeline:
+// one or more Raster Units (each with private shader cores, texture L1s and
+// warp-level latency hiding) race through the frame's tiles while sharing
+// the L2 and the timed DRAM.
+//
+// The engine always steps the Raster Unit with the smallest local clock, so
+// memory requests from concurrently-rendered tiles interleave in global time
+// order — the property that makes two hot tiles rendered together congest
+// DRAM, and a hot tile paired with a cold one not (§III).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/gpipe"
+	"repro/internal/mem"
+	"repro/internal/mem/cache"
+	"repro/internal/raster"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tiling"
+)
+
+// Config sizes the Raster Pipeline hardware.
+type Config struct {
+	RasterUnits  int
+	CoresPerRU   int
+	WarpsPerCore int     // outstanding quad-warps a core can hold in flight
+	IPC          float64 // shader instructions per cycle per core (SIMD lanes)
+	BatchQuads   int     // engine stepping granularity (time-ordering fidelity)
+	SetupCycles  int64   // fixed per-tile rasterizer setup cost
+	// FrontEndCyclesPerQuad is the Raster Unit's rasterizer/Early-Z issue
+	// rate: one quad leaves the front-end every this many cycles. This is
+	// the structural limit that makes wide single-RU configurations starve
+	// on low-ALU tiles (Fig. 4) and that parallel tile rendering doubles.
+	FrontEndCyclesPerQuad float64
+	// PrimSetupCycles is the per-primitive edge/attribute setup occupancy
+	// of the front-end.
+	PrimSetupCycles float64
+	// QuadBlock is the number of consecutive quads dispatched to one core
+	// before moving to the next: screen-space blocks keep a core's texture
+	// accesses spatially coherent in its private L1.
+	QuadBlock int
+
+	// Filtering is the texture sampling footprint of the texture units.
+	Filtering raster.Filtering
+
+	TexL1     cache.Config // per-core texture cache template
+	TileCache cache.Config // shared Tile cache (Parameter Buffer reads)
+}
+
+// DefaultConfig mirrors Table I: 8 cores total at 4-wide issue, 32KB texture
+// L1 per core, 32KB Tile cache.
+func DefaultConfig() Config {
+	return Config{
+		RasterUnits:           1,
+		CoresPerRU:            8,
+		WarpsPerCore:          8,
+		IPC:                   4,
+		BatchQuads:            32,
+		SetupCycles:           64,
+		FrontEndCyclesPerQuad: 2,
+		PrimSetupCycles:       4,
+		QuadBlock:             4,
+		TexL1:                 cache.Config{Name: "tex", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, HitLatency: 2},
+		TileCache:             cache.Config{Name: "tile", SizeBytes: 32 * 1024, LineBytes: 64, Ways: 4, HitLatency: 2},
+	}
+}
+
+// RUStats aggregates one Raster Unit's frame activity.
+type RUStats struct {
+	Tiles        int
+	Quads        int
+	Fragments    int
+	Instructions uint64
+	// TexAccesses counts per-fragment texture samples (hit-ratio basis);
+	// TexLineAccesses counts the distinct lines replayed against the L1
+	// (latency basis) — fragments of a quad coalesce onto shared lines.
+	TexAccesses     uint64
+	TexLineAccesses uint64
+	TexMisses       uint64
+	TexLatencySum   uint64
+	DRAMAccesses    int
+	FinishCycle     int64
+	// ComputeCycles is the summed shader-core busy time (per-core cycles,
+	// aggregated over the RU's cores); with the frame duration it yields
+	// core utilization.
+	ComputeCycles int64
+	StartCycle    int64
+}
+
+// FrameOutput is the result of the raster phase of one frame.
+type FrameOutput struct {
+	RasterCycles int64 // start→last-RU-finish
+	PerRU        []RUStats
+
+	Fragments       int
+	Instructions    uint64
+	TexAccesses     uint64
+	TexLineAccesses uint64
+	TexMisses       uint64
+	TexLatencySum   uint64
+	DRAMAccesses    int
+}
+
+// Utilization returns the fraction of core-cycles RU i spent computing
+// during its active window (0 when it did no work).
+func (f FrameOutput) Utilization(i, coresPerRU int) float64 {
+	ru := f.PerRU[i]
+	window := ru.FinishCycle - ru.StartCycle
+	if window <= 0 || coresPerRU <= 0 {
+		return 0
+	}
+	return float64(ru.ComputeCycles) / float64(window*int64(coresPerRU))
+}
+
+// TexHitRatio returns the frame's overall texture-L1 hit ratio.
+func (f FrameOutput) TexHitRatio() float64 {
+	if f.TexAccesses == 0 {
+		return 0
+	}
+	return 1 - float64(f.TexMisses)/float64(f.TexAccesses)
+}
+
+// AvgTexLatency returns the mean observed texture access latency in cycles.
+func (f FrameOutput) AvgTexLatency() float64 {
+	if f.TexLineAccesses == 0 {
+		return 0
+	}
+	return float64(f.TexLatencySum) / float64(f.TexLineAccesses)
+}
+
+// Engine owns the Raster Units and the shared Tile cache. Cache contents
+// persist across frames, as on hardware.
+type Engine struct {
+	cfg       Config
+	grid      tiling.Grid
+	hier      *mem.Hierarchy
+	tileCache *cache.Cache
+	rus       []*rasterUnit
+}
+
+type rasterUnit struct {
+	id       int
+	renderer *raster.Renderer
+	texL1    []*cache.Cache
+
+	now      int64
+	coreFree []int64
+	rings    [][]int64
+	rr       int
+	feClock  float64 // rasterizer front-end availability (absolute cycles)
+	feStep   float64 // front-end occupancy per quad for the current tile
+
+	work       raster.TileWork
+	quadIdx    int
+	tileActive bool
+	tileStart  int64
+	tileEnd    int64
+	done       bool
+
+	stats RUStats
+}
+
+// NewEngine builds the raster engine over the shared memory hierarchy.
+func NewEngine(cfg Config, grid tiling.Grid, hier *mem.Hierarchy) *Engine {
+	e := &Engine{
+		cfg:       cfg,
+		grid:      grid,
+		hier:      hier,
+		tileCache: cache.New(cfg.TileCache),
+	}
+	for i := 0; i < cfg.RasterUnits; i++ {
+		ru := &rasterUnit{
+			id:       i,
+			renderer: raster.NewRenderer(grid),
+			coreFree: make([]int64, cfg.CoresPerRU),
+			rings:    make([][]int64, cfg.CoresPerRU),
+		}
+		ru.renderer.SetFiltering(cfg.Filtering)
+		for c := 0; c < cfg.CoresPerRU; c++ {
+			l1cfg := cfg.TexL1
+			l1cfg.Name = texCacheName(i, c)
+			ru.texL1 = append(ru.texL1, cache.New(l1cfg))
+		}
+		e.rus = append(e.rus, ru)
+	}
+	return e
+}
+
+func texCacheName(ru, core int) string {
+	return fmt.Sprintf("tex%d.%d", ru, core)
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// TileCache exposes the shared Tile cache (stats).
+func (e *Engine) TileCache() *cache.Cache { return e.tileCache }
+
+// TextureCaches returns all per-core texture L1s across RUs, used for
+// hit-ratio and replication metrics.
+func (e *Engine) TextureCaches() []*cache.Cache {
+	var out []*cache.Cache
+	for _, ru := range e.rus {
+		out = append(out, ru.texL1...)
+	}
+	return out
+}
+
+// ResetFrameStats clears per-frame counters on the engine's caches (contents
+// persist, matching hardware behaviour between frames).
+func (e *Engine) ResetFrameStats() {
+	e.tileCache.ResetStats()
+	for _, c := range e.TextureCaches() {
+		c.ResetStats()
+	}
+}
+
+// FrameInput bundles everything the raster phase consumes.
+type FrameInput struct {
+	Scene     *scene.Scene
+	Prims     []gpipe.Primitive
+	Lists     *tiling.TileLists
+	FB        *raster.FrameBuffer
+	Scheduler sched.Scheduler
+	// Works, when non-nil, replays pre-rendered tile work (trace-driven
+	// mode) instead of rasterizing Scene/Prims/Lists; indexed by tile id.
+	Works []raster.TileWork
+	// WorksByRU, when non-nil, gives each Raster Unit its own tile-work
+	// array (parallel frame rendering: RU i renders frame i); indexed
+	// [ru][tile]. Takes precedence over Works.
+	WorksByRU [][]raster.TileWork
+	// OnTileWork, when non-nil, receives every tile's work trace as it is
+	// rendered (trace recording).
+	OnTileWork func(raster.TileWork)
+	// TileStats, when non-nil, accumulates per-tile DRAM accesses and
+	// instruction counts (LIBRA's temperature inputs).
+	TileStats *stats.TileTable
+	// StartCycle anchors the raster phase in global time (after geometry).
+	StartCycle int64
+}
+
+// RunRaster simulates the raster phase of one frame and returns its timing
+// and activity. Rendering output lands in in.FB.
+func (e *Engine) RunRaster(in FrameInput) FrameOutput {
+	for _, ru := range e.rus {
+		ru.now = in.StartCycle
+		ru.done = false
+		ru.tileActive = false
+		ru.quadIdx = 0
+		ru.rr = 0
+		ru.stats = RUStats{StartCycle: in.StartCycle}
+		for c := range ru.coreFree {
+			ru.coreFree[c] = in.StartCycle
+			ru.rings[c] = ru.rings[c][:0]
+		}
+	}
+
+	for {
+		ru := e.nextRU()
+		if ru == nil {
+			break
+		}
+		e.step(ru, in)
+	}
+
+	out := FrameOutput{RasterCycles: 0}
+	end := in.StartCycle
+	for _, ru := range e.rus {
+		out.PerRU = append(out.PerRU, ru.stats)
+		if ru.stats.FinishCycle > end {
+			end = ru.stats.FinishCycle
+		}
+		out.Fragments += ru.stats.Fragments
+		out.Instructions += ru.stats.Instructions
+		out.TexAccesses += ru.stats.TexAccesses
+		out.TexLineAccesses += ru.stats.TexLineAccesses
+		out.TexMisses += ru.stats.TexMisses
+		out.TexLatencySum += ru.stats.TexLatencySum
+		out.DRAMAccesses += ru.stats.DRAMAccesses
+	}
+	out.RasterCycles = end - in.StartCycle
+	return out
+}
+
+// nextRU picks the live RU with the smallest local clock.
+func (e *Engine) nextRU() *rasterUnit {
+	var best *rasterUnit
+	for _, ru := range e.rus {
+		if ru.done {
+			continue
+		}
+		if best == nil || ru.now < best.now {
+			best = ru
+		}
+	}
+	return best
+}
+
+// step advances one RU by one unit of work: tile acquisition or one quad
+// batch.
+func (e *Engine) step(ru *rasterUnit, in FrameInput) {
+	if !ru.tileActive {
+		tile := in.Scheduler.NextTile(ru.id)
+		if tile < 0 {
+			ru.done = true
+			if ru.stats.FinishCycle < ru.now {
+				ru.stats.FinishCycle = ru.now
+			}
+			return
+		}
+		e.beginTile(ru, in, tile)
+		return
+	}
+	e.processBatch(ru, in)
+}
+
+// beginTile renders the tile functionally, accounts the Tile Fetcher's
+// Parameter Buffer reads, and arms the quad replay.
+func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
+	if in.WorksByRU != nil {
+		ru.work = in.WorksByRU[ru.id][tile]
+	} else if in.Works != nil {
+		ru.work = in.Works[tile]
+	} else {
+		ru.work = ru.renderer.RenderTile(in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
+	}
+	if in.OnTileWork != nil {
+		in.OnTileWork(ru.work)
+	}
+	ru.quadIdx = 0
+	ru.tileActive = true
+	ru.tileStart = ru.now + e.cfg.SetupCycles
+	ru.tileEnd = ru.tileStart
+	for c := range ru.coreFree {
+		ru.coreFree[c] = ru.tileStart
+		ru.rings[c] = ru.rings[c][:0]
+	}
+	// Front-end budget for this tile: per-quad issue plus per-primitive
+	// setup, spread uniformly over the tile's quads.
+	ru.feClock = float64(ru.tileStart)
+	ru.feStep = e.cfg.FrontEndCyclesPerQuad
+	if n := len(ru.work.Quads); n > 0 {
+		ru.feStep += e.cfg.PrimSetupCycles * float64(ru.work.Primitives) / float64(n)
+	}
+
+	// Tile Fetcher: read the tile's Parameter Buffer entries through the
+	// shared Tile cache. The fetcher prefetches ahead of the Raster Units
+	// (§V-A.3), so its latency is not exposed, but its DRAM traffic is real.
+	dram := 0
+	for _, addr := range ru.work.PBReads {
+		res := e.hier.AccessThroughL1(e.tileCache, ru.now, addr, false)
+		dram += res.DRAMAccesses
+	}
+	ru.stats.DRAMAccesses += dram
+	if in.TileStats != nil {
+		in.TileStats.AddDRAM(tile, dram)
+	}
+}
+
+// processBatch replays up to BatchQuads quads of the current tile against
+// the memory system, then yields to the engine's global ordering.
+func (e *Engine) processBatch(ru *rasterUnit, in FrameInput) {
+	quads := ru.work.Quads
+	limit := ru.quadIdx + e.cfg.BatchQuads
+	if limit > len(quads) {
+		limit = len(quads)
+	}
+	dram := 0
+	for ; ru.quadIdx < limit; ru.quadIdx++ {
+		q := quads[ru.quadIdx]
+		c := (ru.rr / e.cfg.QuadBlock) % e.cfg.CoresPerRU
+		ru.rr++
+
+		start := ru.coreFree[c]
+		if len(ru.rings[c]) >= e.cfg.WarpsPerCore {
+			oldest := ru.rings[c][0]
+			ru.rings[c] = ru.rings[c][1:]
+			if oldest > start {
+				start = oldest
+			}
+		}
+		// The quad cannot start before the RU's rasterizer front-end has
+		// produced it.
+		ru.feClock += ru.feStep
+		if fe := int64(ru.feClock); fe > start {
+			start = fe
+		}
+		var maxLat int64
+		ru.stats.TexAccesses += uint64(q.Samples)
+		for _, line := range ru.work.TexLines[q.TexStart : q.TexStart+uint32(q.TexCount)] {
+			res := e.hier.AccessThroughL1(ru.texL1[c], start, line, false)
+			ru.stats.TexLineAccesses++
+			if res.Level != mem.LevelL1 {
+				ru.stats.TexMisses++
+			}
+			ru.stats.TexLatencySum += uint64(res.Latency)
+			dram += res.DRAMAccesses
+			if res.Latency > maxLat {
+				maxLat = res.Latency
+			}
+		}
+
+		compute := int64(float64(q.Instr) / e.cfg.IPC)
+		if compute < 1 {
+			compute = 1
+		}
+		ru.stats.ComputeCycles += compute
+		ru.coreFree[c] = start + compute
+		complete := start + maxLat
+		if ru.coreFree[c] > complete {
+			complete = ru.coreFree[c]
+		}
+		ru.rings[c] = append(ru.rings[c], complete)
+		if complete > ru.tileEnd {
+			ru.tileEnd = complete
+		}
+		ru.stats.Quads++
+		ru.stats.Fragments += int(q.Fragments)
+		ru.stats.Instructions += uint64(q.Instr)
+	}
+
+	if ru.quadIdx >= len(quads) {
+		e.finishTile(ru, in, dram)
+		return
+	}
+	// Frontier: the earliest time this RU can issue more work.
+	ru.now = ru.coreFree[0]
+	for _, t := range ru.coreFree[1:] {
+		if t < ru.now {
+			ru.now = t
+		}
+	}
+	ru.stats.DRAMAccesses += dram
+	if in.TileStats != nil {
+		in.TileStats.AddDRAM(ru.work.TileID, dram)
+	}
+}
+
+// finishTile flushes the Color Buffer and closes the per-tile barrier.
+func (e *Engine) finishTile(ru *rasterUnit, in FrameInput, dram int) {
+	// Barrier: the tile completes when all outstanding quads are done.
+	end := ru.tileEnd
+	for _, t := range ru.coreFree {
+		if t > end {
+			end = t
+		}
+	}
+
+	// Color Buffer flush: the tile's colors stream directly to the Frame
+	// Buffer in main memory (§II-C), consuming DRAM bandwidth but not
+	// stalling the RU and not polluting the L2.
+	for _, line := range ru.work.FlushLines {
+		res := e.hier.WriteDRAM(end, line)
+		dram += res.DRAMAccesses
+	}
+
+	ru.stats.DRAMAccesses += dram
+	ru.stats.Tiles++
+	if in.TileStats != nil {
+		in.TileStats.AddDRAM(ru.work.TileID, dram)
+		in.TileStats.AddInstructions(ru.work.TileID, ru.work.Instructions)
+	}
+	ru.now = end
+	if end > ru.stats.FinishCycle {
+		ru.stats.FinishCycle = end
+	}
+	ru.tileActive = false
+}

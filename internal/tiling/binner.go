@@ -1,0 +1,68 @@
+package tiling
+
+import (
+	"repro/internal/gpipe"
+	"repro/internal/mem"
+)
+
+// PBEntryBytes is the Parameter Buffer footprint of one (tile, primitive)
+// list entry: a compressed primitive reference plus state words.
+const PBEntryBytes = 32
+
+// PrimRef is one Parameter Buffer entry: a primitive index plus the address
+// the Tile Fetcher reads it from.
+type PrimRef struct {
+	Prim int    // index into the frame's primitive slice
+	Addr uint64 // Parameter Buffer address of this entry
+}
+
+// TileLists is the Polygon List Builder output: per-tile primitive lists in
+// program order, backed by the Parameter Buffer.
+type TileLists struct {
+	Grid  Grid
+	Lists [][]PrimRef
+	// PBBytes is the Parameter Buffer size consumed this frame.
+	PBBytes uint64
+	// Binned counts (tile, prim) pairs — the total Tile Fetcher workload.
+	Binned int
+}
+
+// Bin runs the Polygon List Builder: each primitive is appended (in program
+// order) to the list of every tile its screen bounding box overlaps. The
+// conservative bbox test matches the hardware's coarse binning rasterizer.
+func Bin(grid Grid, prims []gpipe.Primitive) *TileLists {
+	tl := &TileLists{Grid: grid, Lists: make([][]PrimRef, grid.NumTiles())}
+	next := mem.ParamBase
+	for pi := range prims {
+		b := prims[pi].ScreenBounds(grid.ScreenW, grid.ScreenH)
+		if b.Empty() {
+			continue
+		}
+		tx0, ty0, tx1, ty1 := grid.TilesCovering(b)
+		for ty := ty0; ty <= ty1; ty++ {
+			for tx := tx0; tx <= tx1; tx++ {
+				id := grid.TileID(tx, ty)
+				tl.Lists[id] = append(tl.Lists[id], PrimRef{Prim: pi, Addr: next})
+				next += PBEntryBytes
+				tl.Binned++
+			}
+		}
+	}
+	tl.PBBytes = next - mem.ParamBase
+	return tl
+}
+
+// WriteAddrs returns the distinct Parameter Buffer line addresses written
+// during binning (the Polygon List Builder's store traffic, which flows
+// through the Tile cache during the geometry phase).
+func (tl *TileLists) WriteAddrs() []uint64 {
+	if tl.PBBytes == 0 {
+		return nil
+	}
+	n := int((tl.PBBytes + 63) / 64)
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = mem.ParamBase + uint64(i*64)
+	}
+	return addrs
+}

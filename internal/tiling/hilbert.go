@@ -1,0 +1,83 @@
+package tiling
+
+// Hilbert-curve tile traversal, the alternative locality-preserving order
+// used by DTexL (Joseph et al., MICRO 2022) and evaluated here as an
+// ablation against the Morton baseline: Hilbert has no long diagonal jumps,
+// trading slightly more complex hardware for marginally better adjacency.
+
+// HilbertD2XY converts a distance d along a Hilbert curve of order n (a
+// 2^n × 2^n grid) into (x, y) coordinates.
+func HilbertD2XY(n uint, d uint64) (x, y uint32) {
+	var rx, ry uint64
+	t := d
+	var xx, yy uint64
+	for s := uint64(1); s < 1<<n; s <<= 1 {
+		rx = 1 & (t / 2)
+		ry = 1 & (t ^ rx)
+		xx, yy = hilbertRot(s, xx, yy, rx, ry)
+		xx += s * rx
+		yy += s * ry
+		t /= 4
+	}
+	return uint32(xx), uint32(yy)
+}
+
+// HilbertXY2D converts (x, y) on a 2^n × 2^n grid into the distance along
+// the Hilbert curve.
+func HilbertXY2D(n uint, x, y uint32) uint64 {
+	var rx, ry, d uint64
+	xx, yy := uint64(x), uint64(y)
+	for s := uint64(1) << (n - 1); s > 0; s >>= 1 {
+		if xx&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if yy&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		xx, yy = hilbertRot(s, xx, yy, rx, ry)
+	}
+	return d
+}
+
+func hilbertRot(s, x, y, rx, ry uint64) (uint64, uint64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// hilbertOrderBits returns the curve order covering both dimensions.
+func hilbertOrderBits(w, h int) uint {
+	n := uint(0)
+	for (1<<n) < w || (1<<n) < h {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// HilbertTraversal returns all tile ids of the grid ordered along a Hilbert
+// curve (every tile exactly once; off-grid curve points are skipped).
+func (g Grid) HilbertTraversal() []int {
+	n := hilbertOrderBits(g.TilesX, g.TilesY)
+	out := make([]int, 0, g.NumTiles())
+	side := uint64(1) << n
+	for d := uint64(0); d < side*side; d++ {
+		x, y := HilbertD2XY(n, d)
+		if int(x) < g.TilesX && int(y) < g.TilesY {
+			out = append(out, g.TileID(int(x), int(y)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHilbertRoundTrip(t *testing.T) {
+	f := func(x, y uint8) bool {
+		const n = 8
+		d := HilbertXY2D(n, uint32(x), uint32(y))
+		gx, gy := HilbertD2XY(n, d)
+		return gx == uint32(x) && gy == uint32(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertIsContinuous(t *testing.T) {
+	// Consecutive curve positions are always 4-neighbours — the property
+	// that distinguishes Hilbert from Morton (which has diagonal jumps).
+	const n = 5
+	px, py := HilbertD2XY(n, 0)
+	for d := uint64(1); d < 1<<(2*n); d++ {
+		x, y := HilbertD2XY(n, d)
+		dx := int(x) - int(px)
+		dy := int(y) - int(py)
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			t.Fatalf("jump at d=%d: (%d,%d) -> (%d,%d)", d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestHilbertTraversalPermutation(t *testing.T) {
+	for _, dims := range [][2]int{{640, 384}, {1000, 1000}, {64, 512}} {
+		g := NewGrid(dims[0], dims[1])
+		seen := make([]bool, g.NumTiles())
+		order := g.HilbertTraversal()
+		if len(order) != g.NumTiles() {
+			t.Fatalf("%v: traversal has %d tiles, want %d", dims, len(order), g.NumTiles())
+		}
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("%v: tile %d visited twice", dims, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestHilbertBeatsScanlineAdjacency(t *testing.T) {
+	// The average step distance of Hilbert on a square grid is exactly 1
+	// within the covered square; on clipped grids it stays near 1.
+	g := NewGrid(1024, 1024) // 32x32 tiles: a perfect power-of-two square
+	order := g.HilbertTraversal()
+	for i := 1; i < len(order); i++ {
+		ax, ay := g.TileCoord(order[i-1])
+		bx, by := g.TileCoord(order[i])
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			t.Fatalf("non-adjacent step at %d", i)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package trace serializes rendering traces — the per-tile work streams the
+// timing engine replays against the memory system — to a compact binary
+// format. Recorded traces decouple the (expensive) functional rendering from
+// (cheap) timing studies: a trace captured once can be re-simulated under
+// any scheduler, cache or DRAM configuration, which is exactly how the
+// original TEAPOT methodology drives its GPU model from captured GLES
+// traces.
+//
+// Format (little-endian, varint-compressed):
+//
+//	magic "LTRC" | version u8
+//	screenW, screenH varint
+//	tileCount varint
+//	per tile: id, primitives, instructions, fragment counters,
+//	          quads (fragments, instr, samples, texline deltas),
+//	          PB reads (deltas), flush lines (deltas)
+//
+// Texture line addresses are delta-encoded: consecutive accesses are highly
+// local, so deltas are small.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/raster"
+)
+
+const (
+	magic   = "LTRC"
+	version = 1
+)
+
+// FrameTrace is one frame's complete raster workload.
+type FrameTrace struct {
+	ScreenW, ScreenH int
+	Tiles            []raster.TileWork // indexed by tile id
+}
+
+// Write serializes the trace.
+func Write(w io.Writer, ft *FrameTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(ft.ScreenW))
+	putUvarint(bw, uint64(ft.ScreenH))
+	putUvarint(bw, uint64(len(ft.Tiles)))
+	for _, tw := range ft.Tiles {
+		writeTile(bw, &tw)
+	}
+	return bw.Flush()
+}
+
+func writeTile(bw *bufio.Writer, tw *raster.TileWork) {
+	putUvarint(bw, uint64(tw.TileID))
+	putUvarint(bw, uint64(tw.Primitives))
+	putUvarint(bw, tw.Instructions)
+	putUvarint(bw, uint64(tw.FragmentsShaded))
+	putUvarint(bw, uint64(tw.FragmentsKilled))
+	putUvarint(bw, uint64(tw.PixelsCovered))
+
+	putUvarint(bw, uint64(len(tw.Quads)))
+	for _, q := range tw.Quads {
+		putUvarint(bw, uint64(q.Fragments))
+		putUvarint(bw, uint64(q.Instr))
+		putUvarint(bw, uint64(q.Samples))
+		putUvarint(bw, uint64(q.TexCount))
+	}
+	writeAddrs(bw, tw.TexLines)
+	writeAddrs(bw, tw.PBReads)
+	writeAddrs(bw, tw.FlushLines)
+}
+
+// writeAddrs delta-encodes an address stream (zig-zag varints).
+func writeAddrs(bw *bufio.Writer, addrs []uint64) {
+	putUvarint(bw, uint64(len(addrs)))
+	prev := int64(0)
+	for _, a := range addrs {
+		d := int64(a) - prev
+		putVarint(bw, d)
+		prev = int64(a)
+	}
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*FrameTrace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head[:4]) != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if head[4] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", head[4])
+	}
+	ft := &FrameTrace{}
+	var err error
+	ft.ScreenW, err = getInt(br, err)
+	ft.ScreenH, err = getInt(br, err)
+	n, err := getInt(br, err)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<22 {
+		return nil, fmt.Errorf("trace: implausible tile count %d", n)
+	}
+	ft.Tiles = make([]raster.TileWork, n)
+	for i := range ft.Tiles {
+		if err := readTile(br, &ft.Tiles[i]); err != nil {
+			return nil, err
+		}
+	}
+	return ft, nil
+}
+
+func readTile(br *bufio.Reader, tw *raster.TileWork) error {
+	var err error
+	tw.TileID, err = getInt(br, err)
+	tw.Primitives, err = getInt(br, err)
+	instr, err := getUint(br, err)
+	tw.Instructions = instr
+	tw.FragmentsShaded, err = getInt(br, err)
+	tw.FragmentsKilled, err = getInt(br, err)
+	tw.PixelsCovered, err = getInt(br, err)
+	nq, err := getInt(br, err)
+	if err != nil {
+		return err
+	}
+	if nq < 0 || nq > 1<<24 {
+		return fmt.Errorf("trace: implausible quad count %d", nq)
+	}
+	if nq > 0 {
+		tw.Quads = make([]raster.QuadMeta, nq)
+	}
+	texStart := uint32(0)
+	for i := range tw.Quads {
+		f, e1 := getUint(br, nil)
+		in, e2 := getUint(br, e1)
+		sm, e3 := getUint(br, e2)
+		tc, e4 := getUint(br, e3)
+		if e4 != nil {
+			return e4
+		}
+		tw.Quads[i] = raster.QuadMeta{
+			Fragments: uint8(f),
+			Instr:     uint16(in),
+			Samples:   uint16(sm),
+			TexStart:  texStart,
+			TexCount:  uint16(tc),
+		}
+		texStart += uint32(tc)
+	}
+	if tw.TexLines, err = readAddrs(br); err != nil {
+		return err
+	}
+	if int(texStart) != len(tw.TexLines) {
+		return fmt.Errorf("trace: quad tex counts (%d) disagree with stream (%d)", texStart, len(tw.TexLines))
+	}
+	if tw.PBReads, err = readAddrs(br); err != nil {
+		return err
+	}
+	if tw.FlushLines, err = readAddrs(br); err != nil {
+		return err
+	}
+	return nil
+}
+
+func readAddrs(br *bufio.Reader) ([]uint64, error) {
+	n, err := getInt(br, nil)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<26 {
+		return nil, fmt.Errorf("trace: implausible address count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, n)
+	prev := int64(0)
+	for i := range out {
+		d, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev += d
+		out[i] = uint64(prev)
+	}
+	return out, nil
+}
+
+func putUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func putVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func getUint(br *bufio.Reader, err error) (uint64, error) {
+	if err != nil {
+		return 0, err
+	}
+	return binary.ReadUvarint(br)
+}
+
+func getInt(br *bufio.Reader, err error) (int, error) {
+	v, e := getUint(br, err)
+	return int(v), e
+}

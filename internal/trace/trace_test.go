@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/raster"
+)
+
+func randomTrace(seed int64, tiles int) *FrameTrace {
+	rng := rand.New(rand.NewSource(seed))
+	ft := &FrameTrace{ScreenW: 640, ScreenH: 384}
+	for id := 0; id < tiles; id++ {
+		tw := raster.TileWork{
+			TileID:          id,
+			Primitives:      rng.Intn(50),
+			Instructions:    uint64(rng.Intn(100000)),
+			FragmentsShaded: rng.Intn(4096),
+			FragmentsKilled: rng.Intn(512),
+			PixelsCovered:   rng.Intn(4096),
+		}
+		addr := uint64(0x4000_0000)
+		texStart := uint32(0)
+		for q := 0; q < rng.Intn(40); q++ {
+			tc := uint16(rng.Intn(4))
+			qm := raster.QuadMeta{
+				Fragments: uint8(1 + rng.Intn(4)),
+				Instr:     uint16(rng.Intn(300)),
+				Samples:   uint16(rng.Intn(8)),
+				TexStart:  texStart,
+				TexCount:  tc,
+			}
+			for t := 0; t < int(tc); t++ {
+				addr += uint64(rng.Intn(4096)) &^ 63
+				tw.TexLines = append(tw.TexLines, addr)
+			}
+			texStart += uint32(tc)
+			tw.Quads = append(tw.Quads, qm)
+		}
+		for p := 0; p < rng.Intn(20); p++ {
+			tw.PBReads = append(tw.PBReads, 0x2000_0000+uint64(p*32))
+		}
+		for f := 0; f < rng.Intn(64); f++ {
+			tw.FlushLines = append(tw.FlushLines, 0x8000_0000+uint64(f*64))
+		}
+		ft.Tiles = append(ft.Tiles, tw)
+	}
+	return ft
+}
+
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ft := randomTrace(seed, 24)
+		var buf bytes.Buffer
+		if err := Write(&buf, ft); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ft, got) {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	ft := &FrameTrace{ScreenW: 64, ScreenH: 64}
+	var buf bytes.Buffer
+	if err := Write(&buf, ft); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ScreenW != 64 || len(got.Tiles) != 0 {
+		t.Errorf("empty trace mishandled: %+v", got)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE\x01rest")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	if _, err := Read(strings.NewReader("LTRC\xFF")); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	ft := randomTrace(1, 8)
+	var buf bytes.Buffer
+	if err := Write(&buf, ft); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Delta encoding should keep local address streams well under 8 bytes
+	// per access.
+	ft := randomTrace(2, 64)
+	var buf bytes.Buffer
+	if err := Write(&buf, ft); err != nil {
+		t.Fatal(err)
+	}
+	addrs := 0
+	for _, tw := range ft.Tiles {
+		addrs += len(tw.TexLines) + len(tw.PBReads) + len(tw.FlushLines)
+	}
+	if addrs > 0 && buf.Len() > addrs*8 {
+		t.Errorf("trace too large: %d bytes for %d addresses", buf.Len(), addrs)
+	}
+}

@@ -1,0 +1,331 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+	"repro/internal/shader"
+)
+
+// Profile is an immutable benchmark descriptor (one Table II row).
+type Profile struct {
+	Abbrev          string
+	Name            string
+	Class           Class
+	MemoryIntensive bool
+	Seed            int64
+	Params          Params
+}
+
+// Game is an instantiated profile with its persistent texture pool and mesh
+// cache; it builds one coherent animated scene per frame. A Game is not safe
+// for concurrent use.
+type Game struct {
+	Profile
+
+	alloc    *scene.TextureAllocator
+	bgTex    []*scene.Texture
+	terrain  *scene.Texture
+	boxTex   *scene.Texture
+	clusters [][]*scene.Texture
+	hudTex   []*scene.Texture
+	scatter  []*scene.Texture
+
+	quad        *scene.Mesh
+	tiledQuad   *scene.Mesh
+	box         *scene.Mesh
+	disc        *scene.Mesh
+	terrainMesh *scene.Mesh
+	clusterMesh []*scene.Mesh // per-cluster atlas-window quads
+	scatterMesh *scene.Mesh
+	hudMesh     []*scene.Mesh
+}
+
+// atlasQuad returns a unit quad whose UVs span an atlas window of the given
+// texel width within a texSize texture, so sprites sample near-native
+// resolution sub-regions (real sprite-sheet behaviour) instead of minifying
+// the whole texture into a tiny mip level.
+func atlasQuad(windowTexels, texSize int) *scene.Mesh {
+	r := float32(windowTexels) / float32(texSize)
+	if r > 1 {
+		r = 1
+	}
+	return scene.NewQuad(r, r)
+}
+
+// New instantiates the profile, allocating its full texture set so that
+// texture addresses are stable across all frames (frame coherence).
+func (p Profile) New() *Game {
+	g := &Game{Profile: p, alloc: scene.NewTextureAllocator()}
+	pr := p.Params
+	for i := 0; i < pr.BGLayers; i++ {
+		g.bgTex = append(g.bgTex, g.alloc.Alloc(pr.BGTexSize, pr.BGTexSize))
+	}
+	if pr.Terrain {
+		g.terrain = g.alloc.Alloc(pr.TerrainTex, pr.TerrainTex)
+	}
+	if pr.Boxes > 0 {
+		g.boxTex = g.alloc.Alloc(pr.BoxTex, pr.BoxTex)
+	}
+	for _, c := range pr.Clusters {
+		n := c.TexCount
+		if n <= 0 {
+			n = 1
+		}
+		var pool []*scene.Texture
+		for i := 0; i < n; i++ {
+			pool = append(pool, g.alloc.Alloc(c.TexSize, c.TexSize))
+		}
+		g.clusters = append(g.clusters, pool)
+	}
+	for _, h := range pr.HUD {
+		g.hudTex = append(g.hudTex, g.alloc.Alloc(h.TexSize, h.TexSize))
+	}
+	if pr.Scatter > 0 {
+		for i := 0; i < 4; i++ {
+			g.scatter = append(g.scatter, g.alloc.Alloc(pr.ScatterTex, pr.ScatterTex))
+		}
+	}
+	g.quad = scene.NewQuad(1, 1)
+	g.tiledQuad = scene.NewQuad(4, 4)
+	g.box = scene.NewBox()
+	g.disc = scene.NewDisc(12)
+	for _, c := range pr.Clusters {
+		g.clusterMesh = append(g.clusterMesh, atlasQuad(64, c.TexSize))
+	}
+	if pr.Scatter > 0 {
+		g.scatterMesh = atlasQuad(48, pr.ScatterTex)
+	}
+	for _, h := range pr.HUD {
+		g.hudMesh = append(g.hudMesh, atlasQuad(128, h.TexSize))
+	}
+	if pr.Terrain {
+		g.terrainMesh = scene.NewGrid(24, 24, func(x, z float32) float32 {
+			return 0.06 * float32(math.Sin(float64(x)*9)*math.Cos(float64(z)*7))
+		})
+	}
+	return g
+}
+
+// TextureFootprintBytes returns the unique texture storage of the game.
+func (g *Game) TextureFootprintBytes() uint64 {
+	var total uint64
+	add := func(ts ...*scene.Texture) {
+		for _, t := range ts {
+			if t != nil {
+				total += t.SizeBytes()
+			}
+		}
+	}
+	add(g.bgTex...)
+	add(g.terrain, g.boxTex)
+	for _, pool := range g.clusters {
+		add(pool...)
+	}
+	add(g.hudTex...)
+	add(g.scatter...)
+	return total
+}
+
+// layoutSeed returns the RNG seed governing static object placement for the
+// given frame; it changes only at scene cuts.
+func (g *Game) layoutSeed(frame int) int64 {
+	if g.Params.CutEvery > 0 {
+		return g.Seed + int64(frame/g.Params.CutEvery)*7919
+	}
+	return g.Seed
+}
+
+// wrap01 wraps x into [0, 1).
+func wrap01(x float32) float32 {
+	x -= float32(math.Floor(float64(x)))
+	return x
+}
+
+// BuildFrame constructs the scene for the given frame index. Consecutive
+// frames differ only by small animation deltas, except at scene cuts.
+func (g *Game) BuildFrame(frame int) *scene.Scene {
+	s := scene.NewScene()
+	pr := g.Params
+	rng := rand.New(rand.NewSource(g.layoutSeed(frame)))
+	f := float32(frame)
+
+	is3D := g.Class == Class3D || g.Class == Class25D
+	if is3D {
+		g.build3DCamera(s, f)
+	} else {
+		// 2D: screen space [0,1]² with a generous depth range for layers.
+		s.Camera.Proj = geom.Ortho(0, 1, 0, 1, -64, 64)
+		s.Camera.View = geom.Identity()
+	}
+
+	// Background layers (painter's order, farthest first) with parallax.
+	// For 3D games the background must sit at the very back of the overlay
+	// depth range so it never occludes the perspective content.
+	for i, tex := range g.bgTex {
+		depth := float32(len(g.bgTex) - i) // farther layers deeper
+		if is3D {
+			depth = 63 - float32(i)
+		}
+		scroll := pr.BGScroll * f * float32(i+1) / float32(len(g.bgTex))
+		s.Add(scene.DrawCall{
+			Mesh: g.tiledQuad,
+			Material: scene.Material{
+				Program:    pr.BGProgram,
+				Textures:   []*scene.Texture{tex},
+				Blend:      blendFor(i),
+				DepthWrite: i == 0,
+			},
+			Model:       screenQuad(0.5, 0.5, 1, 1, -depth),
+			UVOffset:    v2(scroll, 0),
+			ScreenSpace: true,
+		})
+	}
+
+	if is3D {
+		g.build3DContent(s, rng, f)
+	}
+
+	// Scatter: uniform small objects over the playfield.
+	for i := 0; i < pr.Scatter; i++ {
+		bx, by := rng.Float32(), rng.Float32()
+		x := wrap01(bx + 0.005*f*(0.5+bx))
+		y := by
+		tex := g.scatter[i%len(g.scatter)]
+		s.Add(scene.DrawCall{
+			Mesh: g.scatterMesh,
+			Material: scene.Material{
+				Program:  pr.ScatterProg,
+				Textures: []*scene.Texture{tex},
+				Blend:    scene.BlendAlpha,
+			},
+			Model:       screenQuad(x, y, pr.ScatterSize, pr.ScatterSize, 2),
+			UVOffset:    v2(bx, by),
+			ScreenSpace: true,
+		})
+	}
+
+	// Clusters: the hot regions.
+	for ci, c := range pr.Clusters {
+		pool := g.clusters[ci]
+		prog := c.Program
+		if prog.Name == "" {
+			prog = shader.Sprite
+		}
+		crng := rand.New(rand.NewSource(g.layoutSeed(frame) + int64(ci)*911))
+		cx := wrap01(c.X + c.VelX*f)
+		cy := geom.Clamp(c.Y+c.VelY*f, 0, 1)
+		for i := 0; i < c.Count; i++ {
+			ox := (crng.Float32() - 0.5) * c.W
+			oy := (crng.Float32() - 0.5) * c.H
+			// Sprites sample distinct sub-regions of their atlas texture
+			// (stable per layout), like real sprite sheets.
+			au, av := crng.Float32(), crng.Float32()
+			// Small per-object oscillation keeps frames similar but not
+			// identical.
+			wob := 0.004 * float32(math.Sin(float64(f)*0.7+float64(i)))
+			s.Add(scene.DrawCall{
+				Mesh: g.clusterMesh[ci],
+				Material: scene.Material{
+					Program:  prog,
+					Textures: []*scene.Texture{pool[i%len(pool)]},
+					Blend:    c.Blend,
+				},
+				Model:       screenQuad(cx+ox+wob, cy+oy, c.SpriteSize, c.SpriteSize, 3+float32(i)*0.01),
+				UVOffset:    v2(au, av),
+				ScreenSpace: true,
+			})
+		}
+	}
+
+	// HUD bars: drawn last, always on top.
+	for hi, h := range pr.HUD {
+		tex := g.hudTex[hi]
+		segW := 1 / float32(h.Segments)
+		for sgt := 0; sgt < h.Segments; sgt++ {
+			s.Add(scene.DrawCall{
+				Mesh: g.hudMesh[hi],
+				Material: scene.Material{
+					Program:  shader.UI,
+					Textures: []*scene.Texture{tex},
+					Blend:    scene.BlendAlpha,
+				},
+				Model:       screenQuad(segW*(float32(sgt)+0.5), h.Y, segW*0.9, h.H, 40),
+				UVOffset:    v2(float32(sgt)*0.13, 0),
+				ScreenSpace: true,
+			})
+		}
+	}
+	return s
+}
+
+// screenQuad builds a model matrix placing the unit quad at normalized
+// screen position (x, y) with extent (w, h) at depth z (larger z = closer in
+// the 2D ortho setup thanks to the painter-compatible depth mapping).
+func screenQuad(x, y, w, h, z float32) geom.Mat4 {
+	return geom.Translate(x, y, z).Mul(geom.ScaleM(w, h, 1))
+}
+
+func blendFor(layer int) scene.BlendMode {
+	if layer == 0 {
+		return scene.BlendOpaque
+	}
+	return scene.BlendAlpha
+}
+
+// build3DCamera sets a slowly advancing perspective camera.
+func (g *Game) build3DCamera(s *scene.Scene, f float32) {
+	pr := g.Params
+	angle := pr.CameraOrbit * f
+	dist := float32(3.0)
+	eye := geom.V3(
+		dist*float32(math.Sin(float64(angle))),
+		1.6,
+		dist*float32(math.Cos(float64(angle))),
+	)
+	s.Camera.View = geom.LookAt(eye, geom.V3(0, 0.3, 0), geom.V3(0, 1, 0))
+	s.Camera.Proj = geom.Perspective(1.1, 16.0/9.0, 0.1, 60)
+}
+
+// build3DContent adds the terrain and obstacle boxes of 3D/2.5D games.
+func (g *Game) build3DContent(s *scene.Scene, rng *rand.Rand, f float32) {
+	pr := g.Params
+	if pr.Terrain {
+		prog := pr.BoxProgram
+		if prog.Name == "" {
+			prog = shader.LitDetail
+		}
+		s.Add(scene.DrawCall{
+			Mesh: g.terrainMesh,
+			Material: scene.Material{
+				Program:    prog,
+				Textures:   []*scene.Texture{g.terrain},
+				Blend:      scene.BlendOpaque,
+				DepthWrite: true,
+			},
+			Model:    geom.ScaleM(14, 1, 14),
+			UVOffset: v2(0, 0.02*f), // terrain scroll: endless-runner motion
+		})
+	}
+	prog := pr.BoxProgram
+	if prog.Name == "" {
+		prog = shader.Lit
+	}
+	for i := 0; i < pr.Boxes; i++ {
+		bx := (rng.Float32() - 0.5) * 10
+		bz := (rng.Float32() - 0.5) * 10
+		h := 0.3 + rng.Float32()*1.4
+		s.Add(scene.DrawCall{
+			Mesh: g.box,
+			Material: scene.Material{
+				Program:    prog,
+				Textures:   []*scene.Texture{g.boxTex},
+				Blend:      scene.BlendOpaque,
+				DepthWrite: true,
+			},
+			Model: geom.Translate(bx, h/2, bz).Mul(geom.ScaleM(0.5, h, 0.5)),
+		})
+	}
+}

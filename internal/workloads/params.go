@@ -1,0 +1,92 @@
+// Package workloads generates the benchmark suite of the paper: 32 synthetic
+// commercial-game stand-ins (16 memory-intensive, 16 compute-intensive),
+// spanning 2D, 2.5D and 3D content. Since the original evaluation drives
+// unmodified Android games through TEAPOT, and those traces are proprietary,
+// each profile here procedurally reproduces the *measured* properties LIBRA
+// depends on instead:
+//
+//   - heterogeneous per-tile memory intensity with spatial clustering
+//     (HUD bars, dense object clusters vs. flat backgrounds — Fig. 2/9);
+//   - strong frame-to-frame coherence with small animation deltas (Fig. 8);
+//   - per-game texture footprints and ALU-to-texture ratios that split the
+//     suite into memory- and compute-intensive halves (Fig. 6);
+//   - occasional scene cuts that stress the adaptive scheduler.
+package workloads
+
+import (
+	"repro/internal/geom"
+	"repro/internal/scene"
+	"repro/internal/shader"
+)
+
+// Class is the content style of a game.
+type Class string
+
+// Content classes, as in Table II.
+const (
+	Class2D  Class = "2D"
+	Class25D Class = "2.5D"
+	Class3D  Class = "3D"
+)
+
+// ClusterSpec places a dense group of sprites — the hot regions of a frame
+// (the main character, coin rows, fences in Subway Surfers terms).
+type ClusterSpec struct {
+	X, Y       float32 // normalized screen center of the cluster
+	W, H       float32 // normalized extent the sprites spread over
+	Count      int     // number of sprites
+	SpriteSize float32 // normalized sprite edge length
+	TexSize    int     // texture dimensions used by the cluster
+	TexCount   int     // distinct textures cycled through the sprites
+	Program    shader.Program
+	Blend      scene.BlendMode
+	VelX, VelY float32 // normalized drift per frame (frame coherence)
+}
+
+// HUDSpec places a screen-space status bar (always-hot regions: HUDs are
+// texture-rich and redrawn every frame).
+type HUDSpec struct {
+	Y, H     float32 // normalized vertical position and height
+	TexSize  int
+	Segments int // widgets along the bar
+}
+
+// Params is the data-driven description one game profile renders from.
+type Params struct {
+	// Background: full-screen parallax layers (cold regions when the
+	// texture is small, warm when large).
+	BGLayers  int
+	BGTexSize int
+	BGScroll  float32 // UV scroll per frame
+	BGProgram shader.Program
+
+	// 3D content (Class3D/Class25D): a terrain grid and scattered boxes.
+	Terrain    bool
+	TerrainRes int // terrain grid resolution
+	TerrainTex int
+	Boxes      int // obstacle/building boxes
+	BoxTex     int
+	BoxProgram shader.Program
+
+	// Sprite clusters: the hot spots.
+	Clusters []ClusterSpec
+
+	// HUD bars.
+	HUD []HUDSpec
+
+	// Scatter: small objects spread over the whole screen (mild, uniform
+	// load — keeps "cold" tiles non-empty).
+	Scatter     int
+	ScatterSize float32
+	ScatterTex  int
+	ScatterProg shader.Program
+
+	// CutEvery re-seeds the layout every N frames (0 = never), modelling
+	// scene changes the adaptive scheduler must react to.
+	CutEvery int
+
+	// CameraOrbit is the per-frame camera angle delta for 3D games.
+	CameraOrbit float32
+}
+
+func v2(x, y float32) geom.Vec2 { return geom.V2(x, y) }

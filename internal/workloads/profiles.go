@@ -1,0 +1,230 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scene"
+	"repro/internal/shader"
+)
+
+// The benchmark suite. Abbreviations follow the paper's figures where the
+// paper names them (SuS, CCS, HCR, AAt, GrT, Gra, RoK, BlB, CoC, HoW, RoM,
+// AmU, BBR, CrS, Jet, GDL); the remainder are plausible popular-game
+// stand-ins completing the 32-entry suite of Table II.
+
+// cluster is shorthand for a ClusterSpec with sensible defaults.
+func cluster(x, y, w, h float32, count int, size float32, tex, texCount int, prog shader.Program, velX float32) ClusterSpec {
+	return ClusterSpec{
+		X: x, Y: y, W: w, H: h,
+		Count: count, SpriteSize: size,
+		TexSize: tex, TexCount: texCount,
+		Program: prog, Blend: scene.BlendAlpha,
+		VelX: velX,
+	}
+}
+
+// memHeavy2D is the archetype of texture-bound 2D games (match-3, casual):
+// large texture pools, alpha-heavy overdraw, rich HUDs.
+func memHeavy2D(texSize, variety, clusterCount int) Params {
+	return Params{
+		BGLayers: 2, BGTexSize: texSize, BGScroll: 0.002, BGProgram: shader.Textured,
+		Clusters: []ClusterSpec{
+			cluster(0.5, 0.45, 0.7, 0.55, clusterCount, 0.09, texSize, variety, shader.Sprite, 0),
+			cluster(0.5, 0.12, 0.8, 0.12, clusterCount/2, 0.07, texSize/2, variety/2+1, shader.Sprite, 0.001),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.95, H: 0.08, TexSize: 512, Segments: 6},
+			{Y: 0.04, H: 0.06, TexSize: 256, Segments: 4},
+		},
+		Scatter: 24, ScatterSize: 0.03, ScatterTex: 128, ScatterProg: shader.Sprite,
+		CutEvery: 40,
+	}
+}
+
+// runner3D is the endless-runner archetype (Subway Surfers, Temple Run):
+// scrolling 3D ground, dense character/coin clusters, HUD.
+func runner3D(texSize int, boxes int) Params {
+	return Params{
+		BGLayers: 1, BGTexSize: 512, BGScroll: 0.004, BGProgram: shader.Textured,
+		Terrain: true, TerrainRes: 24, TerrainTex: texSize,
+		Boxes: boxes, BoxTex: texSize, BoxProgram: shader.LitDetail,
+		Clusters: []ClusterSpec{
+			// The main character and trail: center-bottom hotspot.
+			cluster(0.5, 0.3, 0.25, 0.3, 26, 0.1, texSize, 4, shader.Multitexture, 0),
+			// Coin/obstacle rows drifting toward the player.
+			cluster(0.5, 0.55, 0.7, 0.25, 20, 0.06, 256, 3, shader.Sprite, 0.003),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.94, H: 0.09, TexSize: 512, Segments: 5},
+		},
+		Scatter: 16, ScatterSize: 0.04, ScatterTex: 128, ScatterProg: shader.Sprite,
+		CutEvery: 60,
+	}
+}
+
+// sideScroller is the Hill-Climb-Racing archetype: strong horizontal motion,
+// terrain strip, vehicle cluster, parallax background.
+func sideScroller(texSize, variety int) Params {
+	return Params{
+		BGLayers: 3, BGTexSize: texSize, BGScroll: 0.006, BGProgram: shader.Textured,
+		Clusters: []ClusterSpec{
+			// Vehicle: the persistent hotspot left-of-center.
+			cluster(0.38, 0.42, 0.2, 0.22, 22, 0.11, texSize, variety, shader.Multitexture, 0),
+			// Ground strip across the lower screen.
+			cluster(0.5, 0.2, 1.0, 0.18, 30, 0.09, texSize, variety, shader.Sprite, -0.006),
+			// Coins ahead of the vehicle.
+			cluster(0.75, 0.5, 0.4, 0.2, 12, 0.05, 128, 2, shader.Sprite, -0.006),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.93, H: 0.1, TexSize: 512, Segments: 6},
+		},
+		Scatter: 10, ScatterSize: 0.04, ScatterTex: 128, ScatterProg: shader.Sprite,
+	}
+}
+
+// isoBuilder is the 2.5D base-building archetype (Clash-of-Clans style):
+// many textured buildings over a tiled ground.
+func isoBuilder(texSize int, buildings int) Params {
+	return Params{
+		BGLayers: 1, BGTexSize: texSize, BGScroll: 0.0005, BGProgram: shader.Textured,
+		Terrain: true, TerrainRes: 20, TerrainTex: texSize,
+		Boxes: buildings, BoxTex: texSize, BoxProgram: shader.Multitexture,
+		Clusters: []ClusterSpec{
+			cluster(0.3, 0.6, 0.35, 0.3, 18, 0.08, texSize, 5, shader.Sprite, 0.0008),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.95, H: 0.08, TexSize: 512, Segments: 8},
+			{Y: 0.05, H: 0.07, TexSize: 512, Segments: 5},
+		},
+		Scatter:     14,
+		ScatterSize: 0.035, ScatterTex: 128, ScatterProg: shader.Sprite,
+		CameraOrbit: 0.002,
+		CutEvery:    80,
+	}
+}
+
+// arcadeCompute is the compute-bound 2D archetype (Geometry-Dash style):
+// heavy procedural shading, tiny textures.
+func arcadeCompute(alu shader.Program, objects int) Params {
+	return Params{
+		BGLayers: 1, BGTexSize: 128, BGScroll: 0.008, BGProgram: alu,
+		Clusters: []ClusterSpec{
+			cluster(0.45, 0.4, 0.6, 0.4, objects, 0.08, 64, 2, alu, 0.004),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.95, H: 0.05, TexSize: 128, Segments: 3},
+		},
+		Scatter: 20, ScatterSize: 0.04, ScatterTex: 64, ScatterProg: shader.Particle,
+	}
+}
+
+// shooter3D is the compute-leaning 3D archetype: lit geometry, moderate
+// textures, particles.
+func shooter3D(texSize, boxes int) Params {
+	return Params{
+		BGLayers: 1, BGTexSize: 256, BGScroll: 0.001, BGProgram: shader.Textured,
+		Terrain: true, TerrainRes: 24, TerrainTex: texSize,
+		Boxes: boxes, BoxTex: texSize, BoxProgram: shader.Lit,
+		Clusters: []ClusterSpec{
+			cluster(0.5, 0.5, 0.3, 0.3, 14, 0.07, 128, 2, shader.Particle, 0.002),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.06, H: 0.06, TexSize: 256, Segments: 4},
+		},
+		CameraOrbit: 0.004,
+	}
+}
+
+// puzzleLite is the lightweight casual archetype (low footprint, low ALU —
+// compute-intensive only in the relative sense of Fig. 17).
+func puzzleLite(texSize int) Params {
+	return Params{
+		BGLayers: 1, BGTexSize: texSize, BGScroll: 0.0008, BGProgram: shader.Textured,
+		Clusters: []ClusterSpec{
+			cluster(0.5, 0.5, 0.55, 0.5, 24, 0.08, texSize, 3, shader.Sprite, 0),
+		},
+		HUD: []HUDSpec{
+			{Y: 0.94, H: 0.06, TexSize: 256, Segments: 4},
+		},
+		Scatter: 8, ScatterSize: 0.03, ScatterTex: 64, ScatterProg: shader.Sprite,
+	}
+}
+
+var profiles = []Profile{
+	// ——— Memory-intensive (16): big texture pools, texture-bound shaders ———
+	{Abbrev: "AAt", Name: "Alto's Attack", Class: Class2D, MemoryIntensive: true, Seed: 101, Params: memHeavy2D(1024, 6, 46)},
+	{Abbrev: "AmU", Name: "Among Usurpers", Class: Class2D, MemoryIntensive: true, Seed: 102, Params: memHeavy2D(1024, 5, 40)},
+	{Abbrev: "BBR", Name: "Beach Buggy Rally", Class: Class3D, MemoryIntensive: true, Seed: 103, Params: runner3D(1024, 26)},
+	{Abbrev: "BlB", Name: "Blast Bros", Class: Class2D, MemoryIntensive: true, Seed: 104, Params: memHeavy2D(1024, 8, 52)},
+	{Abbrev: "CCS", Name: "Candy Crunch Saga", Class: Class2D, MemoryIntensive: true, Seed: 105, Params: memHeavy2D(1024, 7, 56)},
+	{Abbrev: "CoC", Name: "Clash of Colonies", Class: Class25D, MemoryIntensive: true, Seed: 106, Params: isoBuilder(512, 30)},
+	{Abbrev: "Gra", Name: "Gravity Glide", Class: Class2D, MemoryIntensive: true, Seed: 107, Params: memHeavy2D(512, 6, 36)},
+	{Abbrev: "GrT", Name: "Grand Theft Moto", Class: Class3D, MemoryIntensive: true, Seed: 108, Params: runner3D(1024, 34)},
+	{Abbrev: "HCR", Name: "Hill Climb Rush", Class: Class2D, MemoryIntensive: true, Seed: 109, Params: sideScroller(1024, 5)},
+	{Abbrev: "HoW", Name: "Halls of War", Class: Class25D, MemoryIntensive: true, Seed: 110, Params: isoBuilder(1024, 36)},
+	{Abbrev: "RoK", Name: "Rise of Kingdoms", Class: Class25D, MemoryIntensive: true, Seed: 111, Params: isoBuilder(1024, 28)},
+	{Abbrev: "RoM", Name: "Realm of Might", Class: Class3D, MemoryIntensive: true, Seed: 112, Params: runner3D(1024, 40)},
+	{Abbrev: "SuS", Name: "Subway Sprinters", Class: Class3D, MemoryIntensive: true, Seed: 113, Params: runner3D(1024, 22)},
+	{Abbrev: "TeR", Name: "Temple Rumble", Class: Class3D, MemoryIntensive: true, Seed: 114, Params: runner3D(512, 30)},
+	{Abbrev: "FaF", Name: "Farm Frenzy", Class: Class2D, MemoryIntensive: true, Seed: 115, Params: memHeavy2D(1024, 6, 44)},
+	{Abbrev: "WoT", Name: "World of Turrets", Class: Class3D, MemoryIntensive: true, Seed: 116, Params: shooter3D(1024, 38)},
+
+	// ——— Compute-intensive (16): high ALU-to-texture ratio, small pools ———
+	{Abbrev: "GDL", Name: "Geometry Dash Lite", Class: Class2D, MemoryIntensive: false, Seed: 201, Params: arcadeCompute(shader.Procedural, 34)},
+	{Abbrev: "CrS", Name: "Crossy Streets", Class: Class3D, MemoryIntensive: false, Seed: 202, Params: shooter3D(128, 22)},
+	{Abbrev: "Jet", Name: "Jetpack Jamboree", Class: Class2D, MemoryIntensive: false, Seed: 203, Params: arcadeCompute(shader.Lit, 28)},
+	{Abbrev: "AnB", Name: "Angry Bats", Class: Class2D, MemoryIntensive: false, Seed: 204, Params: puzzleLite(256)},
+	{Abbrev: "BeB", Name: "Bejeweled Blitz", Class: Class2D, MemoryIntensive: false, Seed: 205, Params: puzzleLite(256)},
+	{Abbrev: "ChK", Name: "Chess Kingdoms", Class: Class25D, MemoryIntensive: false, Seed: 206, Params: shooter3D(128, 16)},
+	{Abbrev: "CuT", Name: "Cut the Cord", Class: Class2D, MemoryIntensive: false, Seed: 207, Params: puzzleLite(128)},
+	{Abbrev: "DrM", Name: "Dream Machines", Class: Class3D, MemoryIntensive: false, Seed: 208, Params: shooter3D(128, 26)},
+	{Abbrev: "FlB", Name: "Flappy Ball", Class: Class2D, MemoryIntensive: false, Seed: 209, Params: arcadeCompute(shader.Lit, 18)},
+	{Abbrev: "FrF", Name: "Fruit Fury", Class: Class2D, MemoryIntensive: false, Seed: 210, Params: arcadeCompute(shader.Procedural, 24)},
+	{Abbrev: "LiK", Name: "Line Knights", Class: Class2D, MemoryIntensive: false, Seed: 211, Params: puzzleLite(128)},
+	{Abbrev: "MiC", Name: "Mine Crafters", Class: Class3D, MemoryIntensive: false, Seed: 212, Params: shooter3D(128, 34)},
+	{Abbrev: "PoG", Name: "Polygon Golf", Class: Class3D, MemoryIntensive: false, Seed: 213, Params: shooter3D(128, 18)},
+	{Abbrev: "SoC", Name: "Soccer Clash", Class: Class3D, MemoryIntensive: false, Seed: 214, Params: shooter3D(128, 20)},
+	{Abbrev: "SpD", Name: "Speed Drifters", Class: Class3D, MemoryIntensive: false, Seed: 215, Params: shooter3D(128, 24)},
+	{Abbrev: "VeX", Name: "Vector X", Class: Class2D, MemoryIntensive: false, Seed: 216, Params: arcadeCompute(shader.Procedural, 30)},
+}
+
+// All returns the full 32-game suite, ordered by abbreviation.
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	sort.Slice(out, func(i, j int) bool { return out[i].Abbrev < out[j].Abbrev })
+	return out
+}
+
+// MemoryIntensiveSuite returns the 16 memory-intensive games.
+func MemoryIntensiveSuite() []Profile {
+	var out []Profile
+	for _, p := range All() {
+		if p.MemoryIntensive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ComputeIntensiveSuite returns the 16 compute-intensive games.
+func ComputeIntensiveSuite() []Profile {
+	var out []Profile
+	for _, p := range All() {
+		if !p.MemoryIntensive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByAbbrev looks up a profile by its short name.
+func ByAbbrev(abbrev string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Abbrev == abbrev {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workloads: unknown benchmark %q", abbrev)
+}

@@ -1,0 +1,109 @@
+package libra
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// CaptureTrace renders the next frame and additionally returns the frame's
+// raster workload serialized as a compact binary trace. Traces decouple the
+// expensive functional rendering from cheap timing studies: a captured frame
+// can be re-timed under any scheduler or memory configuration with
+// ReplayTrace.
+func (r *Run) CaptureTrace() (FrameResult, []byte, error) {
+	sc := r.game.BuildFrame(r.next)
+	res, ft := r.gpu.CaptureTrace(sc)
+	r.next++
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, ft); err != nil {
+		return FrameResult{}, nil, fmt.Errorf("libra: encoding trace: %w", err)
+	}
+	return publishResult(res, r.gpu.Config().ClockHz), buf.Bytes(), nil
+}
+
+// PFRResult is the outcome of a parallel-frame-rendering replay.
+type PFRResult struct {
+	// TotalCycles covers all frames rendered concurrently.
+	TotalCycles int64
+	// PerFrameCycles is TotalCycles divided by the frame count.
+	PerFrameCycles float64
+	TexHitRatio    float64
+	DRAMAccesses   int
+}
+
+// ReplayPFR re-times consecutive frame traces rendered *concurrently*, one
+// Raster Unit per frame — Parallel Frame Rendering (Arnau et al., PACT 2013;
+// the paper's related work [9]). Comparing against sequential replays of the
+// same traces isolates inter-frame vs intra-frame parallelism.
+func ReplayPFR(cfg Config, traces [][]byte) (PFRResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return PFRResult{}, err
+	}
+	fts := make([]*trace.FrameTrace, len(traces))
+	for i, data := range traces {
+		ft, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return PFRResult{}, fmt.Errorf("libra: frame %d: %w", i, err)
+		}
+		fts[i] = ft
+	}
+	out, err := core.ReplayPFR(cfg.toCore(), fts)
+	if err != nil {
+		return PFRResult{}, err
+	}
+	res := PFRResult{
+		TotalCycles:  out.RasterCycles,
+		TexHitRatio:  out.TexHitRatio(),
+		DRAMAccesses: out.DRAMAccesses,
+	}
+	if len(traces) > 0 {
+		res.PerFrameCycles = float64(out.RasterCycles) / float64(len(traces))
+	}
+	return res, nil
+}
+
+// ReplayResult is one pass of a trace replay.
+type ReplayResult struct {
+	Pass          int
+	RasterCycles  int64
+	TexHitRatio   float64
+	AvgTexLatency float64
+	DRAMAccesses  int
+	Scheduler     string
+}
+
+// ReplayTrace re-times a recorded frame workload under cfg for the given
+// number of passes. Each pass replays the identical workload (a perfectly
+// coherent frame sequence); temperature-based policies consume the previous
+// pass's per-tile statistics, as LIBRA consumes the previous frame's.
+func ReplayTrace(cfg Config, traceData []byte, passes int) ([]ReplayResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if passes <= 0 {
+		return nil, fmt.Errorf("libra: passes must be positive")
+	}
+	ft, err := trace.Read(bytes.NewReader(traceData))
+	if err != nil {
+		return nil, err
+	}
+	rs, err := core.ReplayTrace(cfg.toCore(), ft, passes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplayResult, len(rs))
+	for i, r := range rs {
+		out[i] = ReplayResult{
+			Pass:          r.Pass,
+			RasterCycles:  r.RasterCycles,
+			TexHitRatio:   r.TexHitRatio,
+			AvgTexLatency: r.AvgTexLatency,
+			DRAMAccesses:  r.DRAMAccesses,
+			Scheduler:     r.Scheduler,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package libra
+
+import "testing"
+
+func TestCaptureAndReplayTrace(t *testing.T) {
+	run, err := NewRun(Baseline(tw, th, 8), "HCR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.RenderFrame() // warm
+	res, data, err := run.CaptureTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty trace")
+	}
+	if res.Fragments == 0 {
+		t.Fatal("trace frame has no fragments")
+	}
+
+	results, err := ReplayTrace(PTR(tw, th, 2), data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("passes = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Pass != i || r.RasterCycles <= 0 {
+			t.Errorf("pass %d bad result: %+v", i, r)
+		}
+	}
+	// Warm passes should not be slower than the cold pass.
+	if results[2].RasterCycles > results[0].RasterCycles {
+		t.Errorf("replay did not warm up: %d -> %d", results[0].RasterCycles, results[2].RasterCycles)
+	}
+}
+
+func TestReplayTraceDeterministic(t *testing.T) {
+	run, _ := NewRun(Baseline(tw, th, 8), "CCS")
+	_, data, err := run.CaptureTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReplayTrace(LIBRA(tw, th, 2), data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ReplayTrace(LIBRA(tw, th, 2), data, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pass %d differs between identical replays", i)
+		}
+	}
+}
+
+func TestReplayTraceErrors(t *testing.T) {
+	if _, err := ReplayTrace(Config{}, nil, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := ReplayTrace(DefaultConfig(tw, th), []byte("garbage"), 1); err == nil {
+		t.Error("garbage trace accepted")
+	}
+	run, _ := NewRun(Baseline(tw, th, 8), "Jet")
+	_, data, _ := run.CaptureTrace()
+	if _, err := ReplayTrace(DefaultConfig(tw, th), data, 0); err == nil {
+		t.Error("zero passes accepted")
+	}
+	// Mismatched screen size.
+	if _, err := ReplayTrace(DefaultConfig(tw*2, th), data, 1); err == nil {
+		t.Error("mismatched screen accepted")
+	}
+}
+
+func TestReplayMatchesLiveTiming(t *testing.T) {
+	// Replaying a trace under the same configuration that captured it must
+	// reproduce the same class of behaviour (identical workload, warm
+	// caches converge to similar cycles).
+	cfg := Baseline(tw, th, 8)
+	run, _ := NewRun(cfg, "Gra")
+	run.RenderFrame()
+	live, data, err := run.CaptureTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ReplayTrace(cfg, data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := rs[1].RasterCycles
+	if warm <= 0 {
+		t.Fatal("no replay timing")
+	}
+	ratio := float64(warm) / float64(live.RasterCycles)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("replay timing implausible: live=%d replay=%d", live.RasterCycles, warm)
+	}
+}
+
+func TestReplayPFR(t *testing.T) {
+	run, _ := NewRun(Baseline(tw, th, 8), "SuS")
+	run.RenderFrame()
+	_, trA, err := run.CaptureTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trB, err := run.CaptureTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayPFR(PTR(tw, th, 2), [][]byte{trA, trB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles <= 0 || res.PerFrameCycles <= 0 {
+		t.Fatalf("PFR result empty: %+v", res)
+	}
+	if res.PerFrameCycles != float64(res.TotalCycles)/2 {
+		t.Error("per-frame cycles wrong")
+	}
+	// Rendering two frames concurrently must take less than twice one
+	// frame but at least as long as the longer frame alone.
+	single, err := ReplayPFR(Baseline(tw, th, 4), [][]byte{trA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles < single.TotalCycles {
+		t.Errorf("two concurrent frames (%d) cannot beat one frame alone (%d)",
+			res.TotalCycles, single.TotalCycles)
+	}
+	if res.TotalCycles > 2*single.TotalCycles*3/2 {
+		t.Errorf("PFR overlap missing: %d vs 2x%d", res.TotalCycles, single.TotalCycles)
+	}
+}
+
+func TestReplayPFRErrors(t *testing.T) {
+	if _, err := ReplayPFR(Config{}, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := ReplayPFR(PTR(tw, th, 2), [][]byte{[]byte("junk")}); err == nil {
+		t.Error("garbage trace accepted")
+	}
+	if _, err := ReplayPFR(PTR(tw, th, 2), nil); err == nil {
+		t.Error("empty trace list accepted")
+	}
+}
