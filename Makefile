@@ -1,0 +1,40 @@
+# Local targets mirror the CI matrix (.github/workflows/ci.yml) exactly:
+# `make ci` runs the same four gates as the workflow's jobs.
+
+GO ?= go
+PKGS := ./...
+# Packages the parallel experiment engine exercises concurrently — the race
+# detector's regression surface.
+RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim
+
+.PHONY: build test race fmt vet bench determinism ci
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet $(PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 0 $(PKGS)
+
+# Byte-identical suite output between serial and fanned-out runs.
+determinism:
+	$(GO) build -o /tmp/libra-suite ./cmd/suite
+	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 1 -quiet > /tmp/libra-suite-jobs1.txt
+	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -quiet > /tmp/libra-suite-jobs4.txt
+	diff -u /tmp/libra-suite-jobs1.txt /tmp/libra-suite-jobs4.txt
+
+ci: build vet fmt test race bench determinism

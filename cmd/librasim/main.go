@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	libra "repro"
@@ -36,6 +35,7 @@ func main() {
 		experiment = flag.String("experiment", "", "experiment id (fig01..fig19b, table02, ranking) or 'all'")
 		paper      = flag.Bool("paper", false, "run experiments at the paper's full FHD scale (slow)")
 		format     = flag.String("format", "table", "experiment output format: table | markdown | json")
+		jobs       = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations for experiments (<=0 = NumCPU, or $LIBRA_JOBS)")
 		heat       = flag.Bool("heatmap", false, "print the per-tile DRAM heatmap of the last frame (single run)")
 		screenshot = flag.String("screenshot", "", "write the last rendered frame as a PPM image to this path (single run)")
 	)
@@ -45,7 +45,7 @@ func main() {
 	case *list:
 		printSuite()
 	case *experiment != "":
-		runExperiments(*experiment, *paper, *format)
+		runExperiments(*experiment, *paper, *format, *jobs)
 	case *game != "":
 		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *heat, *screenshot)
 	default:
@@ -102,38 +102,14 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat boo
 	}
 }
 
-func runExperiments(id string, paper bool, format string) {
+func runExperiments(id string, paper bool, format string, jobs int) {
 	p := experiments.DefaultParams()
 	if paper {
 		p = experiments.PaperParams()
 	}
 	r := experiments.NewRunner(p)
-	all := map[string]func() *experiments.Result{
-		"fig01":           r.Fig01Breakdown,
-		"fig02":           r.Fig02Heatmap,
-		"table02":         r.Table02Benchmarks,
-		"fig04":           r.Fig04CoreScaling,
-		"fig06a":          r.Fig06aMemoryFraction,
-		"fig06b":          r.Fig06bCorrelation,
-		"fig07":           r.Fig07Intervals,
-		"fig08":           r.Fig08Coherence,
-		"fig09":           r.Fig09Supertiles,
-		"fig11":           r.Fig11Speedup,
-		"fig12":           r.Fig12TexLatency,
-		"fig13":           r.Fig13HitRatio,
-		"fig14":           r.Fig14DramAccesses,
-		"fig15":           r.Fig15Energy,
-		"fig16":           r.Fig16StaticSupertiles,
-		"fig17":           r.Fig17ComputeIntensive,
-		"fig18":           r.Fig18RasterUnits,
-		"fig19a":          r.Fig19aSupertileThreshold,
-		"fig19b":          r.Fig19bOrderThreshold,
-		"ranking":         r.RankingOverhead,
-		"ablation-orders": r.AblationOrders,
-		"ablation-ext":    r.AblationExtensions,
-		"ablation-pfr":    r.AblationPFR,
-		"smoothing":       r.Smoothing,
-	}
+	r.SetJobs(jobs)
+	all := r.Registry()
 	render := func(res *experiments.Result) {
 		switch format {
 		case "markdown":
@@ -150,12 +126,7 @@ func runExperiments(id string, paper bool, format string) {
 		}
 	}
 	if id == "all" {
-		ids := make([]string, 0, len(all))
-		for k := range all {
-			ids = append(ids, k)
-		}
-		sort.Strings(ids)
-		for _, k := range ids {
+		for _, k := range r.ExperimentIDs() {
 			start := time.Now()
 			render(all[k]())
 			if format == "table" {

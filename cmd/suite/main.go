@@ -2,10 +2,15 @@
 // configurations and prints a per-game comparison table — the quickest way
 // to see the whole evaluation at a glance.
 //
+// Simulations fan out over a bounded worker pool (-jobs, default NumCPU);
+// results are collected into (game, config)-indexed slots so stdout is
+// byte-identical for any -jobs value, and progress/ETA goes to stderr.
+//
 // Usage:
 //
 //	suite                          # baseline vs PTR vs LIBRA, all games
 //	suite -suite mem -frames 12    # memory-intensive games only
+//	suite -jobs 8                  # cap the worker pool
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 
 	libra "repro"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -24,6 +30,8 @@ func main() {
 		screenW = flag.Int("w", 640, "screen width")
 		screenH = flag.Int("h", 384, "screen height")
 		l2kb    = flag.Int("l2kb", 1024, "shared L2 KiB (0 = Table I 2MB)")
+		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
 	)
 	flag.Parse()
 
@@ -53,6 +61,40 @@ func main() {
 		{"libra", withL2(libra.LIBRA(*screenW, *screenH, 2))},
 	}
 
+	// Fan all (game, config) simulations out to the pool; each job writes
+	// only its own slot so the table below is independent of scheduling.
+	summaries := make([][]libra.Summary, len(games))
+	errs := make([][]error, len(games))
+	for i := range games {
+		summaries[i] = make([]libra.Summary, len(configs))
+		errs[i] = make([]error, len(configs))
+	}
+	var progw *experiments.Progress
+	if !*quiet {
+		progw = experiments.NewProgress(os.Stderr, "suite", len(games)*len(configs))
+	}
+	pool := experiments.NewPool(*jobs)
+	pool.ForEach(len(games)*len(configs), func(j int) {
+		gi, ci := j/len(configs), j%len(configs)
+		run, err := libra.NewRun(configs[ci].cfg, games[gi].Abbrev)
+		if err != nil {
+			errs[gi][ci] = err
+			progw.Done()
+			return
+		}
+		summaries[gi][ci] = libra.Summarize(run.RenderFrames(*frames), *warmup)
+		progw.Done()
+	})
+	progw.Finish()
+	for gi := range games {
+		for ci := range configs {
+			if err := errs[gi][ci]; err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	fmt.Printf("%-5s %-5s", "bench", "class")
 	for _, c := range configs {
 		fmt.Printf("  %12s", c.name)
@@ -60,16 +102,11 @@ func main() {
 	fmt.Printf("  %8s %8s\n", "ptr%", "libra%")
 
 	var ptrGain, libraGain []float64
-	for _, g := range games {
+	for gi, g := range games {
 		fmt.Printf("%-5s %-5s", g.Abbrev, g.Class)
 		var cycles []int64
-		for _, c := range configs {
-			run, err := libra.NewRun(c.cfg, g.Abbrev)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			s := libra.Summarize(run.RenderFrames(*frames), *warmup)
+		for ci := range configs {
+			s := summaries[gi][ci]
 			cycles = append(cycles, s.TotalCycles)
 			fmt.Printf("  %12d", s.TotalCycles)
 		}

@@ -2,6 +2,10 @@
 // cores, Raster Units or L2 capacity, printing cycles and derived metrics
 // per point — the tool behind sensitivity studies like Figs. 4 and 18.
 //
+// Sweep points are simulated concurrently on a bounded worker pool (-jobs);
+// output is collected per point index, so stdout is byte-identical for any
+// -jobs value.
+//
 // Usage:
 //
 //	sweep -game CCS -axis cores -values 2,4,8,16
@@ -17,6 +21,7 @@ import (
 	"strings"
 
 	libra "repro"
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -28,6 +33,8 @@ func main() {
 		frames  = flag.Int("frames", 8, "frames per point")
 		screenW = flag.Int("w", 640, "screen width")
 		screenH = flag.Int("h", 384, "screen height")
+		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
+		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
 	)
 	flag.Parse()
 
@@ -54,10 +61,16 @@ func main() {
 		points = append(points, v)
 	}
 
-	fmt.Printf("%s sweep on %s (%s policy, %dx%d)\n", *axis, *game, *policy, *screenW, *screenH)
-	fmt.Printf("%8s %12s %8s %8s %8s %10s\n", *axis, "cycles", "fps", "texHit", "texLat", "energy uJ")
-	var base int64
-	for i, v := range points {
+	// Fan the sweep points out to the pool; each point writes only its own
+	// slot so the printed order (and the point-0 normalization) is stable.
+	summaries := make([]libra.Summary, len(points))
+	errs := make([]error, len(points))
+	var progw *experiments.Progress
+	if !*quiet {
+		progw = experiments.NewProgress(os.Stderr, "sweep", len(points))
+	}
+	experiments.NewPool(*jobs).ForEach(len(points), func(i int) {
+		v := points[i]
 		cfg := libra.DefaultConfig(*screenW, *screenH)
 		cfg.Policy = libra.Policy(*policy)
 		cfg.L2KB = 1024
@@ -78,13 +91,26 @@ func main() {
 		}
 		run, err := libra.NewRun(cfg, *game)
 		if err != nil {
+			errs[i] = err
+			progw.Done()
+			return
+		}
+		summaries[i] = libra.Summarize(run.RenderFrames(*frames), 2)
+		progw.Done()
+	})
+	progw.Finish()
+	for _, err := range errs {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		s := libra.Summarize(run.RenderFrames(*frames), 2)
-		if i == 0 {
-			base = s.TotalCycles
-		}
+	}
+
+	fmt.Printf("%s sweep on %s (%s policy, %dx%d)\n", *axis, *game, *policy, *screenW, *screenH)
+	fmt.Printf("%8s %12s %8s %8s %8s %10s\n", *axis, "cycles", "fps", "texHit", "texLat", "energy uJ")
+	base := summaries[0].TotalCycles
+	for i, v := range points {
+		s := summaries[i]
 		fmt.Printf("%8d %12d %8.1f %8.3f %8.1f %10.0f   (%+.1f%%)\n",
 			v, s.TotalCycles, s.AvgFPS, s.AvgTexHit, s.AvgTexLatency, s.EnergyUJ,
 			(float64(base)/float64(s.TotalCycles)-1)*100)

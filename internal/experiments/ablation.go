@@ -20,25 +20,22 @@ func (r *Runner) AblationOrders() *Result {
 		libra.PolicyHilbert, libra.PolicyReverse, libra.PolicyRandom,
 		libra.PolicyAltTemperature, libra.PolicyLIBRA,
 	}
-	sums := make([][]float64, len(policies))
-	for _, g := range ablationGames {
+	res.Rows = r.perGame(ablationGames, func(g string) Row {
 		base := r.Run(r.PTR(2), g)
 		var vals []float64
-		for i, pol := range policies {
+		for _, pol := range policies {
 			cfg := r.PTR(2)
 			cfg.Policy = pol
-			s := (libra.Speedup(base.Summary, r.Run(cfg, g).Summary) - 1) * 100
-			vals = append(vals, s)
-			sums[i] = append(sums[i], s)
+			vals = append(vals, (libra.Speedup(base.Summary, r.Run(cfg, g).Summary)-1)*100)
 		}
-		res.Rows = append(res.Rows, Row{Label: g, Values: vals})
-	}
+		return Row{Label: g, Values: vals}
+	})
 	res.Headline = map[string]float64{
-		"avg_hilbert_pct": mean(sums[0]),
-		"avg_reverse_pct": mean(sums[1]),
-		"avg_random_pct":  mean(sums[2]),
-		"avg_alttemp_pct": mean(sums[3]),
-		"avg_libra_pct":   mean(sums[4]),
+		"avg_hilbert_pct": mean(column(res.Rows, 0)),
+		"avg_reverse_pct": mean(column(res.Rows, 1)),
+		"avg_random_pct":  mean(column(res.Rows, 2)),
+		"avg_alttemp_pct": mean(column(res.Rows, 3)),
+		"avg_libra_pct":   mean(column(res.Rows, 4)),
 	}
 	return res
 }
@@ -53,8 +50,7 @@ func (r *Runner) Smoothing() *Result {
 		Title:   "DRAM demand burstiness (CV of requests per 5000-cycle interval)",
 		Columns: []string{"ptr_cv", "libra_cv", "ptr_peak", "libra_peak"},
 	}
-	var ptrCV, libCV []float64
-	for _, g := range ablationGames {
+	res.Rows = r.perGame(ablationGames, func(g string) Row {
 		ptrCfg := r.PTR(2)
 		ptrCfg.IntervalWidth = 5000
 		libCfg := r.LIBRA(2)
@@ -63,13 +59,11 @@ func (r *Runner) Smoothing() *Result {
 		l := r.Run(libCfg, g)
 		pcv, ppeak := burstiness(p.Frames[len(p.Frames)-1].Intervals)
 		lcv, lpeak := burstiness(l.Frames[len(l.Frames)-1].Intervals)
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{pcv, lcv, ppeak, lpeak}})
-		ptrCV = append(ptrCV, pcv)
-		libCV = append(libCV, lcv)
-	}
+		return Row{Label: g, Values: []float64{pcv, lcv, ppeak, lpeak}}
+	})
 	res.Headline = map[string]float64{
-		"avg_ptr_cv":   mean(ptrCV),
-		"avg_libra_cv": mean(libCV),
+		"avg_ptr_cv":   mean(column(res.Rows, 0)),
+		"avg_libra_cv": mean(column(res.Rows, 1)),
 	}
 	return res
 }
@@ -108,8 +102,7 @@ func (r *Runner) AblationPFR() *Result {
 		Title:   "LIBRA (sequential frames, 2 cooperating RUs) vs PFR (1 RU per frame)",
 		Columns: []string{"libra_cyc", "pfr_cyc", "libra_vs_pfr%"},
 	}
-	var gains []float64
-	for _, g := range ablationGames {
+	res.Rows = r.perGame(ablationGames, func(g string) Row {
 		run, err := libra.NewRun(r.LIBRA(2), g)
 		if err != nil {
 			panic(err)
@@ -134,12 +127,11 @@ func (r *Runner) AblationPFR() *Result {
 			panic(err)
 		}
 		gain := (float64(pfr.TotalCycles)/float64(seq) - 1) * 100
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{
+		return Row{Label: g, Values: []float64{
 			float64(seq), float64(pfr.TotalCycles), gain,
-		}})
-		gains = append(gains, gain)
-	}
-	res.Headline = map[string]float64{"avg_libra_advantage_pct": mean(gains)}
+		}}
+	})
+	res.Headline = map[string]float64{"avg_libra_advantage_pct": mean(column(res.Rows, 2))}
 	return res
 }
 
@@ -157,23 +149,20 @@ func (r *Runner) AblationExtensions() *Result {
 		func(c *libra.Config) { c.DRAMRefresh = true },
 		func(c *libra.Config) { c.PostedWrites = true },
 	}
-	sums := make([][]float64, len(variants))
-	for _, g := range ablationGames {
+	res.Rows = r.perGame(ablationGames, func(g string) Row {
 		base := r.Run(r.LIBRA(2), g)
 		var vals []float64
-		for i, apply := range variants {
+		for _, apply := range variants {
 			cfg := r.LIBRA(2)
 			apply(&cfg)
-			s := (libra.Speedup(base.Summary, r.Run(cfg, g).Summary) - 1) * 100
-			vals = append(vals, s)
-			sums[i] = append(sums[i], s)
+			vals = append(vals, (libra.Speedup(base.Summary, r.Run(cfg, g).Summary)-1)*100)
 		}
-		res.Rows = append(res.Rows, Row{Label: g, Values: vals})
-	}
+		return Row{Label: g, Values: vals}
+	})
 	res.Headline = map[string]float64{
-		"avg_prefetch_pct": mean(sums[0]),
-		"avg_refresh_pct":  mean(sums[1]),
-		"avg_postedwr_pct": mean(sums[2]),
+		"avg_prefetch_pct": mean(column(res.Rows, 0)),
+		"avg_refresh_pct":  mean(column(res.Rows, 1)),
+		"avg_postedwr_pct": mean(column(res.Rows, 2)),
 	}
 	return res
 }

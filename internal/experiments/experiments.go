@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	libra "repro"
 )
@@ -51,38 +52,110 @@ type GameRun struct {
 
 // Runner executes and memoizes simulations so that experiments sharing the
 // same configuration (Figs. 11-15 all need baseline/PTR/LIBRA runs) pay for
-// them once.
+// them once. Memoization is a singleflight: when several pool workers ask for
+// the same (config, game) key concurrently, exactly one simulates while the
+// rest block on its result.
 type Runner struct {
-	P     Params
+	P    Params
+	pool *Pool
+
 	mu    sync.Mutex
-	cache map[string]*GameRun
+	cache map[string]*flight
+
+	sims     atomic.Int64 // simulations actually executed (cache misses)
+	progress *Progress    // optional per-simulation observer
 }
 
-// NewRunner builds a runner at the given scale.
+// flight is one cache slot: the leader closes done once run (or panicked) is
+// set; followers block on done instead of re-simulating the key.
+type flight struct {
+	done     chan struct{}
+	run      *GameRun
+	panicked any
+}
+
+// NewRunner builds a runner at the given scale with the default fan-out
+// width (see DefaultJobs).
 func NewRunner(p Params) *Runner {
-	return &Runner{P: p, cache: map[string]*GameRun{}}
+	return &Runner{P: p, pool: NewPool(0), cache: map[string]*flight{}}
 }
 
-// Run simulates (or recalls) the given benchmark under cfg.
+// SetJobs bounds the concurrent simulations of the figure and ablation
+// drivers; n <= 0 restores DefaultJobs. Results are independent of n: every
+// driver collects into pre-indexed slots and the simulator itself is
+// deterministic per (config, game).
+func (r *Runner) SetJobs(n int) { r.pool = NewPool(n) }
+
+// Jobs returns the runner's fan-out width.
+func (r *Runner) Jobs() int { return r.pool.Jobs() }
+
+// SetProgress attaches a reporter notified after each executed simulation
+// (cache hits do not tick). Pass nil to detach.
+func (r *Runner) SetProgress(p *Progress) { r.progress = p }
+
+// Sims returns how many simulations the runner actually executed — followers
+// and repeat lookups recall the cached result and do not count.
+func (r *Runner) Sims() int64 { return r.sims.Load() }
+
+// Run simulates (or recalls) the given benchmark under cfg. Concurrent calls
+// with the same key execute the simulation exactly once.
 func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
 	key := fmt.Sprintf("%s|%+v", game, cfg)
 	r.mu.Lock()
-	if got, ok := r.cache[key]; ok {
+	if f, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		return got
+		<-f.done // follower: wait for the leader's result
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+		return f.run
 	}
+	f := &flight{done: make(chan struct{})}
+	r.cache[key] = f
 	r.mu.Unlock()
 
+	// Leader: simulate, publish, release the followers. A panic (unknown
+	// game, invalid config) is forwarded to every waiter and the slot is
+	// dropped so later calls don't cache the failure.
+	defer func() {
+		if p := recover(); p != nil {
+			f.panicked = p
+			r.mu.Lock()
+			delete(r.cache, key)
+			r.mu.Unlock()
+			close(f.done)
+			panic(p)
+		}
+		close(f.done)
+	}()
 	run, err := libra.NewRun(cfg, game)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	frames := run.RenderFrames(r.P.Frames)
-	gr := &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}
-	r.mu.Lock()
-	r.cache[key] = gr
-	r.mu.Unlock()
-	return gr
+	f.run = &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}
+	r.sims.Add(1)
+	r.progress.Done()
+	return f.run
+}
+
+// perGame computes one Row per game on the runner's pool. Each worker writes
+// only its own game-indexed slot, so row order always matches the suite
+// order no matter how the scheduler interleaves jobs.
+func (r *Runner) perGame(games []string, fn func(g string) Row) []Row {
+	rows := make([]Row, len(games))
+	r.pool.ForEach(len(games), func(i int) { rows[i] = fn(games[i]) })
+	return rows
+}
+
+// column extracts the k-th value of every row — the aggregation input for
+// headline averages computed after a parallel perGame pass.
+func column(rows []Row, k int) []float64 {
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		out[i] = row.Values[k]
+	}
+	return out
 }
 
 // Standard configurations of the evaluation.

@@ -16,8 +16,7 @@ func (r *Runner) Fig01Breakdown() *Result {
 		Title:   "Execution time distribution: geometry vs raster",
 		Columns: []string{"geom%", "raster%"},
 	}
-	var rasterFracs []float64
-	for _, g := range allGames() {
+	res.Rows = r.perGame(allGames(), func(g string) Row {
 		run := r.Run(r.Baseline(), g)
 		var geom, total int64
 		for _, f := range run.Frames[r.P.Warmup:] {
@@ -25,10 +24,9 @@ func (r *Runner) Fig01Breakdown() *Result {
 			total += f.TotalCycles
 		}
 		gf := float64(geom) / float64(total) * 100
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{gf, 100 - gf}})
-		rasterFracs = append(rasterFracs, 100-gf)
-	}
-	res.Headline = map[string]float64{"avg_raster_pct": mean(rasterFracs)}
+		return Row{Label: g, Values: []float64{gf, 100 - gf}}
+	})
+	res.Headline = map[string]float64{"avg_raster_pct": mean(column(res.Rows, 1))}
 	return res
 }
 
@@ -101,12 +99,13 @@ func (r *Runner) Fig04CoreScaling() *Result {
 		Title:   "Speedup of 8 vs 4 cores in one Raster Unit",
 		Columns: []string{"speedup"},
 	}
-	below := 0
-	for _, g := range allGames() {
+	res.Rows = r.perGame(allGames(), func(g string) Row {
 		four := r.Run(r.BaselineCores(4), g)
 		eight := r.Run(r.Baseline(), g)
-		s := libra.Speedup(four.Summary, eight.Summary)
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{s}})
+		return Row{Label: g, Values: []float64{libra.Speedup(four.Summary, eight.Summary)}}
+	})
+	below := 0
+	for _, s := range column(res.Rows, 0) {
 		if s < 1.5 {
 			below++
 		}
@@ -123,12 +122,10 @@ func (r *Runner) Fig06aMemoryFraction() *Result {
 		Title:   "Fraction of execution time on memory accesses",
 		Columns: []string{"mem%"},
 	}
-	var fracs []float64
-	for _, g := range allGames() {
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{r.memFraction(g) * 100}})
-		fracs = append(fracs, r.memFraction(g)*100)
-	}
-	res.Headline = map[string]float64{"avg_mem_pct": mean(fracs)}
+	res.Rows = r.perGame(allGames(), func(g string) Row {
+		return Row{Label: g, Values: []float64{r.memFraction(g) * 100}}
+	})
+	res.Headline = map[string]float64{"avg_mem_pct": mean(column(res.Rows, 0))}
 	return res
 }
 
@@ -157,30 +154,22 @@ func (r *Runner) Fig06bCorrelation() *Result {
 		Title:   "PTR(2RU) speedup vs memory fraction",
 		Columns: []string{"mem%", "speedup"},
 	}
-	type pt struct{ m, s float64 }
-	var pts []pt
-	for _, g := range allGames() {
+	res.Rows = r.perGame(allGames(), func(g string) Row {
 		base := r.Run(r.Baseline(), g)
 		ptr := r.Run(r.PTR(2), g)
 		m := r.memFraction(g) * 100
 		s := libra.Speedup(base.Summary, ptr.Summary)
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{m, s}})
-		pts = append(pts, pt{m, s})
-	}
+		return Row{Label: g, Values: []float64{m, s}}
+	})
+	ms, ss := column(res.Rows, 0), column(res.Rows, 1)
 	// Pearson correlation between memory fraction and speedup (paper:
 	// strongly negative).
-	var mx, my float64
-	for _, p := range pts {
-		mx += p.m
-		my += p.s
-	}
-	mx /= float64(len(pts))
-	my /= float64(len(pts))
+	mx, my := mean(ms), mean(ss)
 	var num, dx, dy float64
-	for _, p := range pts {
-		num += (p.m - mx) * (p.s - my)
-		dx += (p.m - mx) * (p.m - mx)
-		dy += (p.s - my) * (p.s - my)
+	for i := range ms {
+		num += (ms[i] - mx) * (ss[i] - my)
+		dx += (ms[i] - mx) * (ms[i] - mx)
+		dy += (ss[i] - my) * (ss[i] - my)
 	}
 	corr := 0.0
 	if dx > 0 && dy > 0 {
@@ -236,9 +225,11 @@ func (r *Runner) Fig07Intervals() *Result {
 // differences between consecutive frames (paper: >80% of tiles differ by
 // <20%).
 func (r *Runner) Fig08Coherence() *Result {
-	var diffs []float64
-	for _, g := range allGames() {
-		run := r.Run(r.Baseline(), g)
+	games := allGames()
+	perGameDiffs := make([][]float64, len(games))
+	r.pool.ForEach(len(games), func(gi int) {
+		run := r.Run(r.Baseline(), games[gi])
+		var diffs []float64
 		for fi := r.P.Warmup; fi+1 < len(run.Frames); fi++ {
 			a := run.Frames[fi].TileDRAM
 			b := run.Frames[fi+1].TileDRAM
@@ -260,6 +251,11 @@ func (r *Runner) Fig08Coherence() *Result {
 				}
 			}
 		}
+		perGameDiffs[gi] = diffs
+	})
+	var diffs []float64
+	for _, d := range perGameDiffs {
+		diffs = append(diffs, d...)
 	}
 	res := &Result{
 		ID:      "fig08",
@@ -330,21 +326,16 @@ func neighbourContrast(grid [][]float64) (adjacent, random float64) {
 // speedupSplit runs baseline/PTR/LIBRA for each game and returns rows of
 // [ptrSpeedup%, schedExtra%, totalSpeedup%].
 func (r *Runner) speedupSplit(games []string, rus int) ([]Row, []float64, []float64, []float64) {
-	var rows []Row
-	var ptrs, extras, totals []float64
 	baseCfg := r.BaselineCores(4 * rus)
-	for _, g := range games {
+	rows := r.perGame(games, func(g string) Row {
 		base := r.Run(baseCfg, g)
 		ptr := r.Run(r.PTR(rus), g)
 		lib := r.Run(r.LIBRA(rus), g)
 		sp := (libra.Speedup(base.Summary, ptr.Summary) - 1) * 100
 		st := (libra.Speedup(base.Summary, lib.Summary) - 1) * 100
-		rows = append(rows, Row{Label: g, Values: []float64{sp, st - sp, st}})
-		ptrs = append(ptrs, sp)
-		extras = append(extras, st-sp)
-		totals = append(totals, st)
-	}
-	return rows, ptrs, extras, totals
+		return Row{Label: g, Values: []float64{sp, st - sp, st}}
+	})
+	return rows, column(rows, 0), column(rows, 1), column(rows, 2)
 }
 
 // Fig11Speedup reproduces Fig. 11: LIBRA's speedup over the baseline for the
@@ -352,12 +343,12 @@ func (r *Runner) speedupSplit(games []string, rus int) ([]Row, []float64, []floa
 // scheduler's extra (paper: +13.2% and +7.7%, total +20.9%).
 func (r *Runner) Fig11Speedup() *Result {
 	rows, ptrs, extras, totals := r.speedupSplit(memGames(), 2)
-	var fps []float64
-	for _, g := range memGames() {
+	fpsRows := r.perGame(memGames(), func(g string) Row {
 		base := r.Run(r.Baseline(), g)
 		lib := r.Run(r.LIBRA(2), g)
-		fps = append(fps, (lib.Summary.AvgFPS/base.Summary.AvgFPS-1)*100)
-	}
+		return Row{Label: g, Values: []float64{(lib.Summary.AvgFPS/base.Summary.AvgFPS - 1) * 100}}
+	})
+	fps := column(fpsRows, 0)
 	return &Result{
 		ID:      "fig11",
 		Title:   "LIBRA speedup vs baseline, memory-intensive games",
@@ -381,20 +372,17 @@ func (r *Runner) Fig12TexLatency() *Result {
 		Title:   "Texture latency decrease vs baseline (%)",
 		Columns: []string{"ptr", "libra"},
 	}
-	var ptrD, libD []float64
-	for _, g := range memGames() {
+	res.Rows = r.perGame(memGames(), func(g string) Row {
 		base := r.Run(r.Baseline(), g)
 		ptr := r.Run(r.PTR(2), g)
 		lib := r.Run(r.LIBRA(2), g)
 		dp := (1 - ptr.Summary.AvgTexLatency/base.Summary.AvgTexLatency) * 100
 		dl := (1 - lib.Summary.AvgTexLatency/base.Summary.AvgTexLatency) * 100
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{dp, dl}})
-		ptrD = append(ptrD, dp)
-		libD = append(libD, dl)
-	}
+		return Row{Label: g, Values: []float64{dp, dl}}
+	})
 	res.Headline = map[string]float64{
-		"avg_ptr_decrease_pct":   mean(ptrD),
-		"avg_libra_decrease_pct": mean(libD),
+		"avg_ptr_decrease_pct":   mean(column(res.Rows, 0)),
+		"avg_libra_decrease_pct": mean(column(res.Rows, 1)),
 	}
 	return res
 }
@@ -408,16 +396,17 @@ func (r *Runner) Fig13HitRatio() *Result {
 		Title:   "Texture cache hit-ratio increase vs baseline (%)",
 		Columns: []string{"ptr", "libra"},
 	}
-	var ptrD, libD, repl []float64
-	for _, g := range memGames() {
+	games := memGames()
+	replByGame := make([][]float64, len(games)) // empty when PTR replication is zero
+	rows := make([]Row, len(games))
+	r.pool.ForEach(len(games), func(i int) {
+		g := games[i]
 		base := r.Run(r.Baseline(), g)
 		ptr := r.Run(r.PTR(2), g)
 		lib := r.Run(r.LIBRA(2), g)
 		dp := (ptr.Summary.AvgTexHit/base.Summary.AvgTexHit - 1) * 100
 		dl := (lib.Summary.AvgTexHit/base.Summary.AvgTexHit - 1) * 100
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{dp, dl}})
-		ptrD = append(ptrD, dp)
-		libD = append(libD, dl)
+		rows[i] = Row{Label: g, Values: []float64{dp, dl}}
 		// Replication: average over measured frames.
 		var rp, rl float64
 		for _, f := range ptr.Frames[r.P.Warmup:] {
@@ -427,12 +416,17 @@ func (r *Runner) Fig13HitRatio() *Result {
 			rl += f.Replication
 		}
 		if rp > 0 {
-			repl = append(repl, (1-rl/rp)*100)
+			replByGame[i] = []float64{(1 - rl/rp) * 100}
 		}
+	})
+	res.Rows = rows
+	var repl []float64
+	for _, v := range replByGame {
+		repl = append(repl, v...)
 	}
 	res.Headline = map[string]float64{
-		"avg_ptr_increase_pct":      mean(ptrD),
-		"avg_libra_increase_pct":    mean(libD),
+		"avg_ptr_increase_pct":      mean(column(rows, 0)),
+		"avg_libra_increase_pct":    mean(column(rows, 1)),
 		"avg_replication_reduction": mean(repl),
 	}
 	return res
@@ -447,15 +441,13 @@ func (r *Runner) Fig14DramAccesses() *Result {
 		Title:   "Main memory accesses, LIBRA normalized to PTR",
 		Columns: []string{"normalized"},
 	}
-	var ratios []float64
-	for _, g := range memGames() {
+	res.Rows = r.perGame(memGames(), func(g string) Row {
 		ptr := r.Run(r.PTR(2), g)
 		lib := r.Run(r.LIBRA(2), g)
 		ratio := float64(lib.Summary.DRAMAccesses) / float64(ptr.Summary.DRAMAccesses)
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{ratio}})
-		ratios = append(ratios, ratio)
-	}
-	res.Headline = map[string]float64{"avg_normalized": mean(ratios)}
+		return Row{Label: g, Values: []float64{ratio}}
+	})
+	res.Headline = map[string]float64{"avg_normalized": mean(column(res.Rows, 0))}
 	return res
 }
 
@@ -467,22 +459,18 @@ func (r *Runner) Fig15Energy() *Result {
 		Title:   "GPU energy decrease vs baseline (%)",
 		Columns: []string{"ptr", "sched", "total"},
 	}
-	var ptrD, schedD, totD []float64
-	for _, g := range memGames() {
+	res.Rows = r.perGame(memGames(), func(g string) Row {
 		base := r.Run(r.Baseline(), g)
 		ptr := r.Run(r.PTR(2), g)
 		lib := r.Run(r.LIBRA(2), g)
 		dp := (1 - ptr.Summary.EnergyUJ/base.Summary.EnergyUJ) * 100
 		dt := (1 - lib.Summary.EnergyUJ/base.Summary.EnergyUJ) * 100
-		res.Rows = append(res.Rows, Row{Label: g, Values: []float64{dp, dt - dp, dt}})
-		ptrD = append(ptrD, dp)
-		schedD = append(schedD, dt-dp)
-		totD = append(totD, dt)
-	}
+		return Row{Label: g, Values: []float64{dp, dt - dp, dt}}
+	})
 	res.Headline = map[string]float64{
-		"avg_ptr_pct":   mean(ptrD),
-		"avg_sched_pct": mean(schedD),
-		"avg_total_pct": mean(totD),
+		"avg_ptr_pct":   mean(column(res.Rows, 0)),
+		"avg_sched_pct": mean(column(res.Rows, 1)),
+		"avg_total_pct": mean(column(res.Rows, 2)),
 	}
 	return res
 }
@@ -495,31 +483,26 @@ func (r *Runner) Fig16StaticSupertiles() *Result {
 		Title:   "Speedup over PTR: static supertiles vs LIBRA",
 		Columns: []string{"2x2", "4x4", "8x8", "16x16", "libra"},
 	}
-	sums := make([][]float64, 5)
-	for _, g := range memGames() {
+	res.Rows = r.perGame(memGames(), func(g string) Row {
 		ptr := r.Run(r.PTR(2), g)
 		var vals []float64
-		for i, k := range []int{2, 4, 8, 16} {
+		for _, k := range []int{2, 4, 8, 16} {
 			cfg := r.PTR(2)
 			cfg.Policy = libra.PolicyStaticSupertile
 			cfg.SupertileSize = k
 			st := r.Run(cfg, g)
-			s := (libra.Speedup(ptr.Summary, st.Summary) - 1) * 100
-			vals = append(vals, s)
-			sums[i] = append(sums[i], s)
+			vals = append(vals, (libra.Speedup(ptr.Summary, st.Summary)-1)*100)
 		}
 		lib := r.Run(r.LIBRA(2), g)
-		s := (libra.Speedup(ptr.Summary, lib.Summary) - 1) * 100
-		vals = append(vals, s)
-		sums[4] = append(sums[4], s)
-		res.Rows = append(res.Rows, Row{Label: g, Values: vals})
-	}
+		vals = append(vals, (libra.Speedup(ptr.Summary, lib.Summary)-1)*100)
+		return Row{Label: g, Values: vals}
+	})
 	res.Headline = map[string]float64{
-		"avg_2x2_pct":   mean(sums[0]),
-		"avg_4x4_pct":   mean(sums[1]),
-		"avg_8x8_pct":   mean(sums[2]),
-		"avg_16x16_pct": mean(sums[3]),
-		"avg_libra_pct": mean(sums[4]),
+		"avg_2x2_pct":   mean(column(res.Rows, 0)),
+		"avg_4x4_pct":   mean(column(res.Rows, 1)),
+		"avg_8x8_pct":   mean(column(res.Rows, 2)),
+		"avg_16x16_pct": mean(column(res.Rows, 3)),
+		"avg_libra_pct": mean(column(res.Rows, 4)),
 	}
 	return res
 }
@@ -550,22 +533,19 @@ func (r *Runner) Fig18RasterUnits() *Result {
 		Title:   "LIBRA speedup vs equal-core baseline, by Raster Units",
 		Columns: []string{"2RU%", "3RU%", "4RU%"},
 	}
-	avgs := make([][]float64, 3)
-	for _, g := range memGames() {
+	res.Rows = r.perGame(memGames(), func(g string) Row {
 		var vals []float64
-		for i, n := range []int{2, 3, 4} {
+		for _, n := range []int{2, 3, 4} {
 			base := r.Run(r.BaselineCores(4*n), g)
 			lib := r.Run(r.LIBRA(n), g)
-			s := (libra.Speedup(base.Summary, lib.Summary) - 1) * 100
-			vals = append(vals, s)
-			avgs[i] = append(avgs[i], s)
+			vals = append(vals, (libra.Speedup(base.Summary, lib.Summary)-1)*100)
 		}
-		res.Rows = append(res.Rows, Row{Label: g, Values: vals})
-	}
+		return Row{Label: g, Values: vals}
+	})
 	res.Headline = map[string]float64{
-		"avg_2ru_pct": mean(avgs[0]),
-		"avg_3ru_pct": mean(avgs[1]),
-		"avg_4ru_pct": mean(avgs[2]),
+		"avg_2ru_pct": mean(column(res.Rows, 0)),
+		"avg_3ru_pct": mean(column(res.Rows, 1)),
+		"avg_4ru_pct": mean(column(res.Rows, 2)),
 	}
 	return res
 }
@@ -579,15 +559,14 @@ func (r *Runner) Fig19aSupertileThreshold() *Result {
 		Columns: []string{"avg_speedup%"},
 	}
 	for _, th := range []float64{0.0001, 0.0025, 0.01, 0.05, 0.15, 0.30} {
-		var sp []float64
-		for _, g := range memGames() {
+		rows := r.perGame(memGames(), func(g string) Row {
 			base := r.Run(r.Baseline(), g)
 			cfg := r.LIBRA(2)
 			cfg.SupertileResizeThreshold = th
 			lib := r.Run(cfg, g)
-			sp = append(sp, (libra.Speedup(base.Summary, lib.Summary)-1)*100)
-		}
-		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%.4f", th), Values: []float64{mean(sp)}})
+			return Row{Label: g, Values: []float64{(libra.Speedup(base.Summary, lib.Summary) - 1) * 100}}
+		})
+		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%.4f", th), Values: []float64{mean(column(rows, 0))}})
 	}
 	return res
 }
@@ -601,15 +580,14 @@ func (r *Runner) Fig19bOrderThreshold() *Result {
 		Columns: []string{"avg_speedup%"},
 	}
 	for _, th := range []float64{0.01, 0.02, 0.03, 0.04, 0.06, 0.10} {
-		var sp []float64
-		for _, g := range memGames() {
+		rows := r.perGame(memGames(), func(g string) Row {
 			base := r.Run(r.Baseline(), g)
 			cfg := r.LIBRA(2)
 			cfg.OrderSwitchThreshold = th
 			lib := r.Run(cfg, g)
-			sp = append(sp, (libra.Speedup(base.Summary, lib.Summary)-1)*100)
-		}
-		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%.2f", th), Values: []float64{mean(sp)}})
+			return Row{Label: g, Values: []float64{(libra.Speedup(base.Summary, lib.Summary) - 1) * 100}}
+		})
+		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("%.2f", th), Values: []float64{mean(column(rows, 0))}})
 	}
 	return res
 }
@@ -622,27 +600,34 @@ func (r *Runner) RankingOverhead() *Result {
 		Title:   "Ranking-hardware overhead vs geometry time",
 		Columns: []string{"rank_cycles", "geom_cycles", "hidden"},
 	}
-	hidden := 0
-	total := 0
-	for _, g := range []string{"CCS", "SuS", "HCR", "GDL"} {
+	games := []string{"CCS", "SuS", "HCR", "GDL"}
+	groups := make([][]Row, len(games))
+	hiddenBy := make([]int, len(games))
+	totalBy := make([]int, len(games))
+	r.pool.ForEach(len(games), func(gi int) {
+		g := games[gi]
 		run := r.Run(r.Baseline(), g)
 		grid := run.Frames[0].TileDRAM
-		tiles := len(grid) * len(grid[0])
 		supers := (len(grid[0])/2 + len(grid[0])%2) * (len(grid)/2 + len(grid)%2)
-		_ = tiles
 		rank := libra.RankingCycles(supers)
 		for _, f := range run.Frames[r.P.Warmup:] {
-			total++
+			totalBy[gi]++
 			h := 0.0
 			if rank <= f.GeometryCycles {
 				h = 1
-				hidden++
+				hiddenBy[gi]++
 			}
-			res.Rows = append(res.Rows, Row{
+			groups[gi] = append(groups[gi], Row{
 				Label:  fmt.Sprintf("%s.f%d", g, f.Frame),
 				Values: []float64{float64(rank), float64(f.GeometryCycles), h},
 			})
 		}
+	})
+	hidden, total := 0, 0
+	for gi := range games {
+		res.Rows = append(res.Rows, groups[gi]...)
+		hidden += hiddenBy[gi]
+		total += totalBy[gi]
 	}
 	res.Headline = map[string]float64{
 		"frames_hidden_pct": float64(hidden) / float64(total) * 100,

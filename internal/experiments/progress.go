@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports job completion with a wall-clock ETA on a single
+// carriage-return-rewritten status line (intended for stderr, keeping stdout
+// byte-identical regardless of -jobs). A nil *Progress is a valid no-op, so
+// callers can disable reporting by constructing with a nil writer.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	start time.Time
+	last  time.Time
+}
+
+// NewProgress starts a reporter for total jobs. A nil writer or non-positive
+// total yields a nil no-op reporter.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	if w == nil || total <= 0 {
+		return nil
+	}
+	return &Progress{w: w, label: label, total: total, start: time.Now()}
+}
+
+// Done records one completed job, refreshing the status line (throttled to
+// ~10 Hz so tight job streams don't flood the terminal). Safe for concurrent
+// use by pool workers.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	now := time.Now()
+	if p.done < p.total && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	eta := time.Duration(0)
+	if p.done > 0 {
+		eta = elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
+	}
+	fmt.Fprintf(p.w, "\r%s %d/%d (%d%%) eta %-8s", p.label, p.done, p.total,
+		p.done*100/p.total, eta.Round(100*time.Millisecond))
+}
+
+// Finish terminates the status line with the total elapsed time.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s %d/%d done in %s\n", p.label, p.done, p.total,
+		time.Since(p.start).Round(time.Millisecond))
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "sort"
+
+// Registry maps every experiment id (figures, tables, ablations) to its
+// driver on this runner — the single catalogue shared by cmd/librasim, the
+// bench harness and the CI determinism checks.
+func (r *Runner) Registry() map[string]func() *Result {
+	return map[string]func() *Result{
+		"fig01":           r.Fig01Breakdown,
+		"fig02":           r.Fig02Heatmap,
+		"table02":         r.Table02Benchmarks,
+		"fig04":           r.Fig04CoreScaling,
+		"fig06a":          r.Fig06aMemoryFraction,
+		"fig06b":          r.Fig06bCorrelation,
+		"fig07":           r.Fig07Intervals,
+		"fig08":           r.Fig08Coherence,
+		"fig09":           r.Fig09Supertiles,
+		"fig11":           r.Fig11Speedup,
+		"fig12":           r.Fig12TexLatency,
+		"fig13":           r.Fig13HitRatio,
+		"fig14":           r.Fig14DramAccesses,
+		"fig15":           r.Fig15Energy,
+		"fig16":           r.Fig16StaticSupertiles,
+		"fig17":           r.Fig17ComputeIntensive,
+		"fig18":           r.Fig18RasterUnits,
+		"fig19a":          r.Fig19aSupertileThreshold,
+		"fig19b":          r.Fig19bOrderThreshold,
+		"ranking":         r.RankingOverhead,
+		"ablation-orders": r.AblationOrders,
+		"ablation-ext":    r.AblationExtensions,
+		"ablation-pfr":    r.AblationPFR,
+		"smoothing":       r.Smoothing,
+	}
+}
+
+// ExperimentIDs returns the registry's ids in stable sorted order.
+func (r *Runner) ExperimentIDs() []string {
+	reg := r.Registry()
+	ids := make([]string, 0, len(reg))
+	for k := range reg {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	return ids
+}
