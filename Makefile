@@ -1,13 +1,15 @@
 # Local targets mirror the CI matrix (.github/workflows/ci.yml) exactly:
-# `make ci` runs the same four gates as the workflow's jobs.
+# `make ci` runs the same gates as the workflow's jobs.
 
 GO ?= go
 PKGS := ./...
 # Packages the parallel experiment engine exercises concurrently — the race
-# detector's regression surface.
-RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim
+# detector's regression surface (telemetry: one shared Trace fed by the pool).
+RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/telemetry
+# Statement-coverage floor: the seed baseline, enforced by the CI coverage job.
+COVERAGE_MIN ?= 74.8
 
-.PHONY: build test race fmt vet bench determinism ci
+.PHONY: build test race fmt vet bench bench-json cover determinism trace-smoke ci
 
 build:
 	$(GO) build $(PKGS)
@@ -30,6 +32,19 @@ vet:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 0 $(PKGS)
 
+# Timed benchmark runs converted to the BENCH_ci.json record CI archives.
+bench-json:
+	$(GO) test -bench 'Frame' -benchmem -count 5 -run '^$$' -timeout 0 . | tee /tmp/libra-bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_ci.json < /tmp/libra-bench.txt
+
+# Statement coverage with the same floor the CI coverage job enforces.
+cover:
+	$(GO) test -coverprofile=/tmp/libra-coverage.out $(PKGS)
+	@total=$$($(GO) tool cover -func=/tmp/libra-coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (minimum $(COVERAGE_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVERAGE_MIN)" 'BEGIN { exit !(t+0 >= m+0) }' \
+		|| { echo "coverage $$total% is below the $(COVERAGE_MIN)% floor"; exit 1; }
+
 # Byte-identical suite output between serial and fanned-out runs.
 determinism:
 	$(GO) build -o /tmp/libra-suite ./cmd/suite
@@ -37,4 +52,11 @@ determinism:
 	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -quiet > /tmp/libra-suite-jobs4.txt
 	diff -u /tmp/libra-suite-jobs1.txt /tmp/libra-suite-jobs4.txt
 
-ci: build vet fmt test race bench determinism
+# Capture a real trace and validate its Perfetto-loadable shape.
+trace-smoke:
+	$(GO) build -o /tmp/librasim ./cmd/librasim
+	/tmp/librasim -game SuS -policy libra -rus 2 -frames 2 \
+		-trace-out /tmp/libra-trace.json -metrics-out /tmp/libra-metrics.json > /dev/null
+	$(GO) run ./cmd/tracecheck -rus 2 /tmp/libra-trace.json /tmp/libra-metrics.json
+
+ci: build vet fmt test race bench determinism trace-smoke cover

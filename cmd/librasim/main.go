@@ -14,11 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	libra "repro"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func main() {
 		jobs       = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations for experiments (<=0 = NumCPU, or $LIBRA_JOBS)")
 		heat       = flag.Bool("heatmap", false, "print the per-tile DRAM heatmap of the last frame (single run)")
 		screenshot = flag.String("screenshot", "", "write the last rendered frame as a PPM image to this path (single run)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) to this path; for -experiment, traces the first simulation")
+		metricsOut = flag.String("metrics-out", "", "write the telemetry metrics registry as JSON to this path")
 	)
 	flag.Parse()
 
@@ -45,13 +50,39 @@ func main() {
 	case *list:
 		printSuite()
 	case *experiment != "":
-		runExperiments(*experiment, *paper, *format, *jobs)
+		runExperiments(*experiment, *paper, *format, *jobs, *traceOut, *metricsOut)
 	case *game != "":
-		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *heat, *screenshot)
+		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *heat, *screenshot, *traceOut, *metricsOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeTelemetry flushes a trace's Chrome-trace and metrics JSON to the
+// requested paths (empty paths are skipped).
+func writeTelemetry(tr *telemetry.Trace, traceOut, metricsOut string) {
+	write := func(path string, export func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := export(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	write(traceOut, tr.ExportChromeTrace)
+	write(metricsOut, tr.ExportMetrics)
 }
 
 func printSuite() {
@@ -65,7 +96,7 @@ func printSuite() {
 	}
 }
 
-func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat bool, screenshot string) {
+func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat bool, screenshot, traceOut, metricsOut string) {
 	cfg := libra.DefaultConfig(w, h)
 	cfg.RasterUnits = rus
 	cfg.CoresPerRU = cores
@@ -75,6 +106,11 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat boo
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var tr *telemetry.Trace
+	if traceOut != "" || metricsOut != "" {
+		tr = telemetry.NewTrace(telemetry.TraceConfig{ClockHz: cfg.ClockHz})
+		run.SetRecorder(tr)
 	}
 	fmt.Printf("%s on %dx%d, %d RU x %d cores, policy=%s\n", game, w, h, rus, cores, policy)
 	var results []libra.FrameResult
@@ -100,15 +136,31 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat boo
 		}
 		fmt.Printf("wrote %s\n", screenshot)
 	}
+	if tr != nil {
+		writeTelemetry(tr, traceOut, metricsOut)
+	}
 }
 
-func runExperiments(id string, paper bool, format string, jobs int) {
+func runExperiments(id string, paper bool, format string, jobs int, traceOut, metricsOut string) {
 	p := experiments.DefaultParams()
 	if paper {
 		p = experiments.PaperParams()
 	}
 	r := experiments.NewRunner(p)
 	r.SetJobs(jobs)
+	// With -trace-out/-metrics-out, capture the first simulation the
+	// experiment executes (one frame sequence keeps the trace readable).
+	var tr *telemetry.Trace
+	if traceOut != "" || metricsOut != "" {
+		tr = telemetry.NewTrace(telemetry.TraceConfig{})
+		var claimed atomic.Bool
+		r.SetTelemetry(func(cfg libra.Config, game string) telemetry.Recorder {
+			if claimed.CompareAndSwap(false, true) {
+				return tr
+			}
+			return nil
+		})
+	}
 	all := r.Registry()
 	render := func(res *experiments.Result) {
 		switch format {
@@ -133,12 +185,15 @@ func runExperiments(id string, paper bool, format string, jobs int) {
 				fmt.Printf("   [%s took %v]\n\n", k, time.Since(start).Round(time.Millisecond))
 			}
 		}
-		return
+	} else {
+		fn, ok := all[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		render(fn())
 	}
-	fn, ok := all[id]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-		os.Exit(1)
+	if tr != nil {
+		writeTelemetry(tr, traceOut, metricsOut)
 	}
-	render(fn())
 }

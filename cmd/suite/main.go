@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	libra "repro"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +34,11 @@ func main() {
 		l2kb    = flag.Int("l2kb", 1024, "shared L2 KiB (0 = Table I 2MB)")
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) of one traced run to this path")
+		metricsOut = flag.String("metrics-out", "", "write the traced run's metrics registry as JSON to this path")
+		traceGame  = flag.String("trace-game", "", "benchmark abbreviation to trace (default: first game of the suite)")
+		traceCfg   = flag.String("trace-config", "libra", "configuration to trace: baseline | ptr | libra")
 	)
 	flag.Parse()
 
@@ -73,6 +80,28 @@ func main() {
 	if !*quiet {
 		progw = experiments.NewProgress(os.Stderr, "suite", len(games)*len(configs))
 	}
+	// One (game, config) job may carry the telemetry recorder; its trace is
+	// written after the pool drains.
+	var tr *telemetry.Trace
+	traceTarget := -1
+	if *traceOut != "" || *metricsOut != "" {
+		tg := *traceGame
+		if tg == "" && len(games) > 0 {
+			tg = games[0].Abbrev
+		}
+		for gi, g := range games {
+			for ci, c := range configs {
+				if g.Abbrev == tg && c.name == *traceCfg {
+					traceTarget = gi*len(configs) + ci
+				}
+			}
+		}
+		if traceTarget < 0 {
+			fmt.Fprintf(os.Stderr, "no run matches -trace-game %q -trace-config %q in this suite\n", tg, *traceCfg)
+			os.Exit(1)
+		}
+		tr = telemetry.NewTrace(telemetry.TraceConfig{})
+	}
 	pool := experiments.NewPool(*jobs)
 	pool.ForEach(len(games)*len(configs), func(j int) {
 		gi, ci := j/len(configs), j%len(configs)
@@ -81,6 +110,9 @@ func main() {
 			errs[gi][ci] = err
 			progw.Done()
 			return
+		}
+		if j == traceTarget {
+			run.SetRecorder(tr)
 		}
 		summaries[gi][ci] = libra.Summarize(run.RenderFrames(*frames), *warmup)
 		progw.Done()
@@ -121,6 +153,28 @@ func main() {
 		fmt.Printf("  %12s", "")
 	}
 	fmt.Printf("  %+8.2f %+8.2f\n", mean(ptrGain), mean(libraGain))
+
+	if tr != nil {
+		write := func(path string, export func(io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err == nil {
+				err = export(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		write(*traceOut, tr.ExportChromeTrace)
+		write(*metricsOut, tr.ExportMetrics)
+	}
 }
 
 func mean(xs []float64) float64 {

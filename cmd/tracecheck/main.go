@@ -1,0 +1,101 @@
+// Command tracecheck validates an exported Chrome trace (and optionally a
+// metrics JSON) against the observability layer's acceptance shape: valid
+// trace-event JSON with at least one tile span per raster unit and at least
+// one DRAM bank track. CI runs it against a freshly captured trace so a
+// regression in the exporter fails the pipeline, and it doubles as a local
+// sanity check before loading a capture into Perfetto.
+//
+// Usage:
+//
+//	tracecheck -rus 2 trace.json [metrics.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	rus := flag.Int("rus", 1, "raster units the capture must cover (one span each)")
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-rus N] trace.json [metrics.json]")
+		os.Exit(2)
+	}
+	if err := checkTrace(flag.Arg(0), *rus); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+	if flag.NArg() == 2 {
+		if err := checkMetrics(flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(1), err)
+			os.Exit(1)
+		}
+	}
+}
+
+func checkTrace(path string, rus int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph  string  `json:"ph"`
+			Cat string  `json:"cat"`
+			Tid int     `json:"tid"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	tileSpans := map[int]int{}
+	bankTracks := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("event with negative duration")
+		}
+		switch ev.Cat {
+		case "tile":
+			tileSpans[ev.Tid]++
+		case "dram":
+			bankTracks[ev.Tid] = true
+		}
+	}
+	for ru := 0; ru < rus; ru++ {
+		if tileSpans[ru] == 0 {
+			return fmt.Errorf("raster unit %d has no tile spans", ru)
+		}
+	}
+	if len(bankTracks) == 0 {
+		return fmt.Errorf("no DRAM bank tracks")
+	}
+	fmt.Printf("%s: ok (%d events, %d RU tracks, %d bank tracks)\n",
+		path, len(doc.TraceEvents), len(tileSpans), len(bankTracks))
+	return nil
+}
+
+func checkMetrics(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("not valid metrics JSON: %w", err)
+	}
+	if snap.Counters["frames"] == 0 {
+		return fmt.Errorf("metrics record no frames")
+	}
+	fmt.Printf("%s: ok (%d counters, %d frames)\n", path, len(snap.Counters), snap.Counters["frames"])
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodTrace = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","ts":0,"pid":2,"tid":0,"args":{"name":"raster units"}},
+{"name":"tile 0","cat":"tile","ph":"X","ts":0,"dur":10,"pid":2,"tid":0},
+{"name":"tile 1","cat":"tile","ph":"X","ts":0,"dur":12,"pid":2,"tid":1},
+{"name":"read","cat":"dram","ph":"X","ts":1,"dur":5,"pid":3,"tid":64}
+]}`
+
+func TestCheckTrace(t *testing.T) {
+	path := writeFile(t, "trace.json", goodTrace)
+	if err := checkTrace(path, 2); err != nil {
+		t.Errorf("good trace rejected: %v", err)
+	}
+	if err := checkTrace(path, 3); err == nil || !strings.Contains(err.Error(), "raster unit 2") {
+		t.Errorf("missing RU not detected: %v", err)
+	}
+}
+
+func TestCheckTraceRejects(t *testing.T) {
+	cases := map[string]struct {
+		content string
+		errPart string
+	}{
+		"invalid json": {"{not json", "not valid"},
+		"no banks": {`{"traceEvents":[{"cat":"tile","ph":"X","ts":0,"dur":1,"pid":2,"tid":0}]}`,
+			"no DRAM bank tracks"},
+		"negative duration": {`{"traceEvents":[{"cat":"tile","ph":"X","ts":0,"dur":-1,"pid":2,"tid":0}]}`,
+			"negative duration"},
+	}
+	for name, tc := range cases {
+		path := writeFile(t, "t.json", tc.content)
+		err := checkTrace(path, 1)
+		if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: err = %v, want containing %q", name, err, tc.errPart)
+		}
+	}
+	if err := checkTrace(filepath.Join(t.TempDir(), "missing.json"), 1); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestCheckMetrics(t *testing.T) {
+	good := writeFile(t, "m.json", `{"counters":{"frames":2,"dram.reads":10}}`)
+	if err := checkMetrics(good); err != nil {
+		t.Errorf("good metrics rejected: %v", err)
+	}
+	empty := writeFile(t, "e.json", `{"counters":{}}`)
+	if err := checkMetrics(empty); err == nil || !strings.Contains(err.Error(), "no frames") {
+		t.Errorf("frameless metrics accepted: %v", err)
+	}
+	bad := writeFile(t, "b.json", `[`)
+	if err := checkMetrics(bad); err == nil {
+		t.Error("invalid metrics JSON accepted")
+	}
+}

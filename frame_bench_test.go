@@ -1,0 +1,23 @@
+package libra_test
+
+import (
+	"testing"
+
+	libra "repro"
+)
+
+// BenchmarkFrame times one steady-state frame of the headline LIBRA
+// configuration with telemetry disabled — the regression gate for the
+// observability layer's zero-cost-when-off guarantee.
+func BenchmarkFrame(b *testing.B) {
+	run, err := libra.NewRun(libra.LIBRA(640, 384, 2), "SuS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run.RenderFrames(2) // warm caches and the adaptive controller
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run.RenderFrame()
+	}
+}

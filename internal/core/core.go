@@ -17,6 +17,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tiling"
 )
 
@@ -210,6 +211,7 @@ type GPU struct {
 	prevTiles *stats.TileTable
 
 	traceSink func(raster.TileWork)
+	rec       telemetry.Recorder
 
 	clock    int64
 	frameIdx int
@@ -242,10 +244,24 @@ func (g *GPU) Grid() tiling.Grid { return g.grid }
 // FrameBuffer returns the most recently rendered frame.
 func (g *GPU) FrameBuffer() *raster.FrameBuffer { return g.fb }
 
+// SetRecorder attaches (or, with nil, detaches) a telemetry recorder to every
+// instrumented unit of the GPU: the Raster Units (tile spans), the cache
+// hierarchy (hit-rate series), the DRAM banks (activity tracks) and the tile
+// scheduler (decision counts and instants).
+func (g *GPU) SetRecorder(rec telemetry.Recorder) {
+	g.rec = rec
+	g.hier.Rec = rec
+	g.hier.DRAM.SetRecorder(rec)
+	g.eng.SetRecorder(rec)
+}
+
 // RenderFrame runs one complete frame through the GPU.
 func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 	res := FrameResult{Frame: g.frameIdx}
 	start := g.clock
+	if g.rec != nil {
+		g.rec.BeginFrame(g.frameIdx, start)
+	}
 
 	// Per-frame stat windows (contents persist; counters reset).
 	g.hier.ResetStats()
@@ -285,6 +301,10 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 	res.SchedulerName = scheduler.Name()
 	res.OrderMode = orderMode
 	res.Supertile = superSize
+	if g.rec != nil {
+		g.rec.SchedDecision(rasterStart, scheduler.Name(), orderMode.String(), superSize)
+		scheduler = sched.Instrument(scheduler, g.rec)
+	}
 
 	// ——— Raster Pipeline ———
 	tileStats := stats.NewTileTable(g.grid.TilesX, g.grid.TilesY)
@@ -338,6 +358,9 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 	g.prevTiles = tileStats
 	g.clock = rasterStart + out.RasterCycles
 	g.frameIdx++
+	if g.rec != nil {
+		g.rec.EndFrame(g.clock)
+	}
 	return res
 }
 

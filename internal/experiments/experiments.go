@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	libra "repro"
+	"repro/internal/telemetry"
 )
 
 // Params controls the scale of every experiment. The paper runs FHD
@@ -64,6 +65,11 @@ type Runner struct {
 
 	sims     atomic.Int64 // simulations actually executed (cache misses)
 	progress *Progress    // optional per-simulation observer
+
+	// telemetry, when non-nil, is consulted for every executed simulation;
+	// a non-nil Recorder it returns is attached to the run before frames
+	// render, so any registered experiment can be traced.
+	telemetry func(cfg libra.Config, game string) telemetry.Recorder
 }
 
 // flight is one cache slot: the leader closes done once run (or panicked) is
@@ -96,6 +102,15 @@ func (r *Runner) SetProgress(p *Progress) { r.progress = p }
 // Sims returns how many simulations the runner actually executed — followers
 // and repeat lookups recall the cached result and do not count.
 func (r *Runner) Sims() int64 { return r.sims.Load() }
+
+// SetTelemetry installs a factory consulted for every simulation the runner
+// executes (cache hits are not re-simulated and see no callback). Returning a
+// non-nil Recorder attaches it to that run; the factory may be called from
+// several pool workers concurrently, and may hand every run one shared
+// Recorder (telemetry.Trace is safe for concurrent use). Pass nil to detach.
+func (r *Runner) SetTelemetry(f func(cfg libra.Config, game string) telemetry.Recorder) {
+	r.telemetry = f
+}
 
 // Run simulates (or recalls) the given benchmark under cfg. Concurrent calls
 // with the same key execute the simulation exactly once.
@@ -131,6 +146,11 @@ func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
 	run, err := libra.NewRun(cfg, game)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	if r.telemetry != nil {
+		if rec := r.telemetry(cfg, game); rec != nil {
+			run.SetRecorder(rec)
+		}
 	}
 	frames := run.RenderFrames(r.P.Frames)
 	f.run = &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}

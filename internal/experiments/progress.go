@@ -32,7 +32,9 @@ func NewProgress(w io.Writer, label string, total int) *Progress {
 
 // Done records one completed job, refreshing the status line (throttled to
 // ~10 Hz so tight job streams don't flood the terminal). Safe for concurrent
-// use by pool workers.
+// use by pool workers, and robust against degenerate reporters: a zero total
+// (zero-value struct), more Done calls than total, or a zero-duration run
+// never divides by zero or prints a negative ETA.
 func (p *Progress) Done() {
 	if p == nil {
 		return
@@ -40,23 +42,30 @@ func (p *Progress) Done() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
+	if p.w == nil || p.total <= 0 {
+		return
+	}
 	now := time.Now()
 	if p.done < p.total && now.Sub(p.last) < 100*time.Millisecond {
 		return
 	}
 	p.last = now
 	elapsed := now.Sub(p.start)
-	eta := time.Duration(0)
-	if p.done > 0 {
-		eta = elapsed / time.Duration(p.done) * time.Duration(p.total-p.done)
+	var eta time.Duration
+	if remaining := p.total - p.done; remaining > 0 {
+		eta = elapsed / time.Duration(p.done) * time.Duration(remaining)
+	}
+	pct := p.done * 100 / p.total
+	if pct > 100 {
+		pct = 100
 	}
 	fmt.Fprintf(p.w, "\r%s %d/%d (%d%%) eta %-8s", p.label, p.done, p.total,
-		p.done*100/p.total, eta.Round(100*time.Millisecond))
+		pct, eta.Round(100*time.Millisecond))
 }
 
 // Finish terminates the status line with the total elapsed time.
 func (p *Progress) Finish() {
-	if p == nil {
+	if p == nil || p.w == nil {
 		return
 	}
 	p.mu.Lock()

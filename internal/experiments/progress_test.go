@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgressNilIsNoOp(t *testing.T) {
+	var p *Progress
+	p.Done() // must not panic
+	p.Finish()
+	if got := NewProgress(nil, "x", 5); got != nil {
+		t.Error("NewProgress(nil writer) should return nil")
+	}
+	if got := NewProgress(&strings.Builder{}, "x", 0); got != nil {
+		t.Error("NewProgress(total 0) should return nil")
+	}
+	if got := NewProgress(&strings.Builder{}, "x", -1); got != nil {
+		t.Error("NewProgress(negative total) should return nil")
+	}
+}
+
+// TestProgressZeroValue is the regression for the divide-by-zero: a zero-value
+// reporter (total 0) must survive Done/Finish without panicking or printing.
+func TestProgressZeroValue(t *testing.T) {
+	p := &Progress{}
+	p.Done()
+	p.Done()
+	p.Finish()
+}
+
+// TestProgressZeroDuration drives a full run faster than the clock ticks; the
+// output must contain no NaN or negative ETA.
+func TestProgressZeroDuration(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "jobs", 3)
+	for i := 0; i < 3; i++ {
+		p.Done()
+	}
+	p.Finish()
+	out := b.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "-") {
+		t.Errorf("progress output contains NaN or negative value: %q", out)
+	}
+	if !strings.Contains(out, "3/3") {
+		t.Errorf("progress output missing final count: %q", out)
+	}
+}
+
+// TestProgressOverDone clamps the percentage when Done is called more times
+// than total (a misconfigured caller must not print >100%).
+func TestProgressOverDone(t *testing.T) {
+	var b strings.Builder
+	p := NewProgress(&b, "jobs", 2)
+	for i := 0; i < 5; i++ {
+		p.Done()
+	}
+	out := b.String()
+	if strings.Contains(out, "250%") || !strings.Contains(out, "100%") {
+		t.Errorf("progress output not clamped to 100%%: %q", out)
+	}
+}

@@ -15,6 +15,8 @@
 // so requests from concurrently-rendering tiles naturally contend here.
 package dram
 
+import "repro/internal/telemetry"
+
 // Config holds DRAM geometry and timing, in GPU core cycles (the simulator
 // runs on a single clock domain; LPDDR4 timings are pre-converted).
 type Config struct {
@@ -114,6 +116,11 @@ type DRAM struct {
 	// every request; the stats package uses it to build the per-interval
 	// request histogram of Fig. 7.
 	OnRequest func(start int64)
+
+	// rec, when non-nil, receives every request with its bank placement and
+	// service window — the observability layer's DRAM activity tracks. The
+	// nil check keeps the disabled hot path branch-only.
+	rec telemetry.Recorder
 }
 
 // New builds a DRAM from cfg. Zero-valued fields are replaced by defaults.
@@ -158,6 +165,10 @@ func (d *DRAM) Stats() Stats { return d.stats }
 
 // ResetStats clears counters but keeps bank/row state and timing.
 func (d *DRAM) ResetStats() { d.stats = Stats{} }
+
+// SetRecorder attaches (or, with nil, detaches) the telemetry recorder that
+// receives per-request DRAM events.
+func (d *DRAM) SetRecorder(rec telemetry.Recorder) { d.rec = rec }
 
 // mapAddr decomposes a line address into channel, bank and row. Channel and
 // bank bits are taken just above the line offset so consecutive lines stripe
@@ -208,7 +219,8 @@ func (d *DRAM) Access(now int64, addr uint64, write bool) (done int64) {
 	}
 
 	var deviceLat int64
-	if b.openRow == row {
+	rowHit := b.openRow == row
+	if rowHit {
 		deviceLat = d.cfg.RowHitLatency
 		d.stats.RowHits++
 	} else {
@@ -258,6 +270,9 @@ func (d *DRAM) Access(now int64, addr uint64, write bool) (done int64) {
 	d.stats.BusyCycles += d.cfg.BurstCycles
 	if d.OnRequest != nil {
 		d.OnRequest(start)
+	}
+	if d.rec != nil {
+		d.rec.DRAMAccess(ch, bk, start, done, write, rowHit, len(c.inflight))
 	}
 	return done
 }

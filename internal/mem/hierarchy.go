@@ -7,6 +7,7 @@ package mem
 import (
 	"repro/internal/mem/cache"
 	"repro/internal/mem/dram"
+	"repro/internal/telemetry"
 )
 
 // Simulated address-space layout. Each traffic source gets a disjoint region
@@ -51,6 +52,11 @@ type Hierarchy struct {
 	// (the classic texture-cache prefetch of Igehy et al., evaluated here
 	// as an extension ablation). Prefetches do not delay the demand access.
 	PrefetchNextLine bool
+
+	// Rec, when non-nil, receives every demand L1/L2 lookup — the input of
+	// the observability layer's hit-rate time series. The nil check keeps
+	// the disabled hot path branch-only.
+	Rec telemetry.Recorder
 }
 
 // NewHierarchy builds a hierarchy with the given shared-L2 configuration and
@@ -72,9 +78,15 @@ func (h *Hierarchy) AccessThroughL1(l1 *cache.Cache, now int64, addr uint64, wri
 		// Still touch the cache functionally so downstream hit ratios stay
 		// comparable, but serve everything at L1 latency.
 		l1.Access(addr, write)
+		if h.Rec != nil {
+			h.Rec.CacheAccess(telemetry.CacheL1, now, true)
+		}
 		return AccessResult{Latency: l1lat, Level: LevelL1}
 	}
 	r1 := l1.Access(addr, write)
+	if h.Rec != nil {
+		h.Rec.CacheAccess(telemetry.CacheL1, now, r1.Hit)
+	}
 	var res AccessResult
 	if r1.Hit {
 		res = AccessResult{Latency: l1lat, Level: LevelL1}
@@ -110,6 +122,9 @@ func (h *Hierarchy) AccessThroughL1(l1 *cache.Cache, now int64, addr uint64, wri
 func (h *Hierarchy) AccessL2(now int64, addr uint64, write bool) AccessResult {
 	l2lat := h.L2.Config().HitLatency
 	r2 := h.L2.Access(addr, write)
+	if h.Rec != nil {
+		h.Rec.CacheAccess(telemetry.CacheL2, now, r2.Hit)
+	}
 	if r2.Hit {
 		return AccessResult{Latency: l2lat, Level: LevelL2}
 	}

@@ -1,0 +1,31 @@
+package sched
+
+import "repro/internal/telemetry"
+
+// Instrumented decorates a Scheduler so every successful dispatch is
+// published to a telemetry Recorder (per-RU assignment counters). The wrapped
+// scheduler's policy is unchanged; NextTile itself carries no timestamp
+// because tile dispatch is timing-free — the Raster Unit's TileSpan records
+// the when.
+type Instrumented struct {
+	Scheduler
+	rec telemetry.Recorder
+}
+
+// Instrument wraps s with telemetry publication. A nil recorder returns s
+// unchanged, so the disabled path adds no indirection at all.
+func Instrument(s Scheduler, rec telemetry.Recorder) Scheduler {
+	if rec == nil {
+		return s
+	}
+	return &Instrumented{Scheduler: s, rec: rec}
+}
+
+// NextTile implements Scheduler.
+func (s *Instrumented) NextTile(ru int) int {
+	t := s.Scheduler.NextTile(ru)
+	if t >= 0 {
+		s.rec.TileAssigned(ru, t)
+	}
+	return t
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/scene"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/tiling"
 )
 
@@ -139,6 +140,10 @@ type Engine struct {
 	hier      *mem.Hierarchy
 	tileCache *cache.Cache
 	rus       []*rasterUnit
+
+	// rec, when non-nil, receives per-tile spans for the observability
+	// layer. The nil check keeps the disabled hot path branch-only.
+	rec telemetry.Recorder
 }
 
 type rasterUnit struct {
@@ -156,6 +161,8 @@ type rasterUnit struct {
 	work       raster.TileWork
 	quadIdx    int
 	tileActive bool
+	tileAcq    int64 // cycle the tile was acquired (telemetry span start)
+	tileDRAM   int   // DRAM accesses of the current tile (telemetry)
 	tileStart  int64
 	tileEnd    int64
 	done       bool
@@ -195,6 +202,10 @@ func texCacheName(ru, core int) string {
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetRecorder attaches (or, with nil, detaches) the telemetry recorder that
+// receives per-tile spans. Call before RunRaster.
+func (e *Engine) SetRecorder(rec telemetry.Recorder) { e.rec = rec }
 
 // TileCache exposes the shared Tile cache (stats).
 func (e *Engine) TileCache() *cache.Cache { return e.tileCache }
@@ -332,6 +343,8 @@ func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
 	}
 	ru.quadIdx = 0
 	ru.tileActive = true
+	ru.tileAcq = ru.now
+	ru.tileDRAM = 0
 	ru.tileStart = ru.now + e.cfg.SetupCycles
 	ru.tileEnd = ru.tileStart
 	for c := range ru.coreFree {
@@ -355,6 +368,7 @@ func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
 		dram += res.DRAMAccesses
 	}
 	ru.stats.DRAMAccesses += dram
+	ru.tileDRAM += dram
 	if in.TileStats != nil {
 		in.TileStats.AddDRAM(tile, dram)
 	}
@@ -434,6 +448,7 @@ func (e *Engine) processBatch(ru *rasterUnit, in FrameInput) {
 		}
 	}
 	ru.stats.DRAMAccesses += dram
+	ru.tileDRAM += dram
 	if in.TileStats != nil {
 		in.TileStats.AddDRAM(ru.work.TileID, dram)
 	}
@@ -458,10 +473,14 @@ func (e *Engine) finishTile(ru *rasterUnit, in FrameInput, dram int) {
 	}
 
 	ru.stats.DRAMAccesses += dram
+	ru.tileDRAM += dram
 	ru.stats.Tiles++
 	if in.TileStats != nil {
 		in.TileStats.AddDRAM(ru.work.TileID, dram)
 		in.TileStats.AddInstructions(ru.work.TileID, ru.work.Instructions)
+	}
+	if e.rec != nil {
+		e.rec.TileSpan(ru.id, ru.work.TileID, ru.tileAcq, end, len(ru.work.Quads), ru.tileDRAM)
 	}
 	ru.now = end
 	if end > ru.stats.FinishCycle {

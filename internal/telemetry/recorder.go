@@ -1,0 +1,65 @@
+// Package telemetry is the simulator's observability layer: a typed metrics
+// registry (counters, gauges, interval histograms) and a Chrome trace-event
+// exporter (Perfetto-compatible JSON) fed by the timing-critical units — the
+// Raster Units, the cache hierarchy, the DRAM banks and the tile scheduler.
+//
+// The layer is zero-cost when disabled: every emit site in the simulator
+// holds a Recorder and guards with a nil check, so a run without telemetry
+// pays one compare-and-branch per site and allocates nothing (verified by
+// TestDisabledRecorderZeroAlloc and the BenchmarkFrame gate).
+package telemetry
+
+// CacheLevel identifies the cache tier of a CacheAccess event.
+type CacheLevel uint8
+
+// Cache tiers.
+const (
+	CacheL1 CacheLevel = iota // any private L1 (texture, tile, vertex)
+	CacheL2                   // the shared L2
+)
+
+func (l CacheLevel) String() string {
+	switch l {
+	case CacheL1:
+		return "L1"
+	case CacheL2:
+		return "L2"
+	}
+	return "cache?"
+}
+
+// Recorder receives timing events from the simulator's hot paths. All cycle
+// arguments are global simulation time. Implementations must be safe for
+// concurrent use: the parallel experiment pool may drive several simulations
+// into one shared Recorder.
+//
+// A nil Recorder means telemetry is off; emit sites must check for nil and
+// skip the call entirely rather than invoking methods on a nil value.
+type Recorder interface {
+	// BeginFrame marks the start of one rendered frame.
+	BeginFrame(frame int, startCycle int64)
+	// EndFrame closes the frame opened by the last BeginFrame.
+	EndFrame(endCycle int64)
+
+	// TileSpan records Raster Unit ru rendering one tile from start to end
+	// (inclusive of rasterizer setup), with the tile's quad count and DRAM
+	// traffic.
+	TileSpan(ru, tile int, start, end int64, quads, dramAccesses int)
+
+	// TileAssigned counts one scheduler dispatch of tile to ru. The
+	// scheduler is timing-free, so the event carries no cycle stamp; the
+	// matching TileSpan carries the when.
+	TileAssigned(ru, tile int)
+	// SchedDecision records the per-frame policy decision: the scheduler
+	// chosen, its traversal order and the supertile size in effect.
+	SchedDecision(cycle int64, policy, order string, supertile int)
+
+	// DRAMAccess records one 64-byte request: its channel and bank, service
+	// window [start, done), direction, row-buffer outcome, and the
+	// controller queue depth observed at issue.
+	DRAMAccess(channel, bank int, start, done int64, write, rowHit bool, queueDepth int)
+
+	// CacheAccess records one cache lookup at the given tier — the input of
+	// the L1/L2 hit-rate time series.
+	CacheAccess(level CacheLevel, cycle int64, hit bool)
+}

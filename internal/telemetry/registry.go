@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value set (0 for an untouched gauge).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// IntervalHistogram accumulates a value per fixed-width window of simulated
+// time — the shape behind every "X over time" series (DRAM requests per
+// interval, per-bank occupancy, hit-rate numerators/denominators).
+type IntervalHistogram struct {
+	mu    sync.Mutex
+	width int64
+	sums  []float64
+}
+
+// NewIntervalHistogram builds a histogram with the given bucket width in
+// cycles (minimum 1).
+func NewIntervalHistogram(width int64) *IntervalHistogram {
+	if width < 1 {
+		width = 1
+	}
+	return &IntervalHistogram{width: width}
+}
+
+// Observe adds v to the bucket containing cycle. Negative cycles land in
+// bucket 0.
+func (h *IntervalHistogram) Observe(cycle int64, v float64) {
+	if cycle < 0 {
+		cycle = 0
+	}
+	i := int(cycle / h.width)
+	h.mu.Lock()
+	for len(h.sums) <= i {
+		h.sums = append(h.sums, 0)
+	}
+	h.sums[i] += v
+	h.mu.Unlock()
+}
+
+// Width returns the bucket width in cycles.
+func (h *IntervalHistogram) Width() int64 { return h.width }
+
+// Buckets returns a copy of the accumulated per-interval sums.
+func (h *IntervalHistogram) Buckets() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.sums...)
+}
+
+// Registry holds named metrics. Lookups are get-or-create, so publishing
+// units need no registration phase; all methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*IntervalHistogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*IntervalHistogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named interval histogram, creating it with the given
+// bucket width on first use (the width of an existing histogram is kept).
+func (r *Registry) Histogram(name string, width int64) *IntervalHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewIntervalHistogram(width)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the exported state of one interval histogram.
+type HistogramSnapshot struct {
+	WidthCycles int64     `json:"width_cycles"`
+	Buckets     []float64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry; maps
+// marshal with sorted keys, so the JSON form is deterministic.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for k, c := range r.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for k, g := range r.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			s.Histograms[k] = HistogramSnapshot{WidthCycles: h.Width(), Buckets: h.Buckets()}
+		}
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented, deterministic JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter should return the same handle for the same name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge should return the same handle for the same name")
+	}
+	if r.Histogram("h", 10) != r.Histogram("h", 99) {
+		t.Error("Histogram should return the same handle for the same name")
+	}
+	if w := r.Histogram("h", 99).Width(); w != 10 {
+		t.Errorf("existing histogram width changed to %d, want 10", w)
+	}
+
+	r.Counter("a").Inc()
+	r.Counter("a").Add(4)
+	if v := r.Counter("a").Value(); v != 5 {
+		t.Errorf("counter = %d, want 5", v)
+	}
+	r.Gauge("g").Set(2.5)
+	if v := r.Gauge("g").Value(); v != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", v)
+	}
+}
+
+func TestIntervalHistogram(t *testing.T) {
+	h := NewIntervalHistogram(0) // clamps to width 1
+	if h.Width() != 1 {
+		t.Fatalf("width = %d, want 1", h.Width())
+	}
+	h = NewIntervalHistogram(100)
+	h.Observe(-50, 1) // negative cycles land in bucket 0
+	h.Observe(0, 2)
+	h.Observe(99, 3)
+	h.Observe(250, 4)
+	got := h.Buckets()
+	want := []float64{6, 0, 4}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	// Buckets returns a copy, not a live view.
+	got[0] = -1
+	if h.Buckets()[0] != 6 {
+		t.Error("Buckets returned a live slice")
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"z", "a", "m"} {
+		r.Counter(name).Inc()
+		r.Gauge(name + ".g").Set(1)
+		r.Histogram(name+".h", 10).Observe(5, 1)
+	}
+	a, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("snapshot JSON is not deterministic across calls")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", 10).Observe(int64(j), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c").Value(); v != 8000 {
+		t.Errorf("counter = %d, want 8000", v)
+	}
+	var sum float64
+	for _, b := range r.Histogram("h", 10).Buckets() {
+		sum += b
+	}
+	if sum != 8000 {
+		t.Errorf("histogram total = %v, want 8000", sum)
+	}
+}

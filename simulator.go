@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -79,6 +80,12 @@ func NewRun(cfg Config, benchmark string) (*Run, error) {
 
 // Config returns the run's configuration.
 func (r *Run) Config() Config { return r.cfg }
+
+// SetRecorder attaches a telemetry recorder (e.g. *telemetry.Trace) to the
+// simulated GPU: subsequent frames emit per-RU tile spans, DRAM bank
+// activity, cache hit-rate series and scheduler decisions into it. Pass nil
+// to detach; a detached run is telemetry-free (zero cost on the hot path).
+func (r *Run) SetRecorder(rec telemetry.Recorder) { r.gpu.SetRecorder(rec) }
 
 // Benchmark returns the benchmark's short name.
 func (r *Run) Benchmark() string { return r.game.Abbrev }
