@@ -9,7 +9,7 @@ RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/
 # Statement-coverage floor: the seed baseline, enforced by the CI coverage job.
 COVERAGE_MIN ?= 74.8
 
-.PHONY: build test race fmt vet bench bench-json cover determinism trace-smoke ci
+.PHONY: build test race fmt vet lint bench bench-json cover determinism trace-smoke ci
 
 build:
 	$(GO) build $(PKGS)
@@ -28,6 +28,12 @@ fmt:
 
 vet:
 	$(GO) vet $(PKGS)
+
+# Determinism/telemetry invariants, enforced by the in-repo analyzer suite
+# (cmd/libralint: detlint, telemetrylint, seedlint — see DESIGN.md §8).
+# Suppressions live in libralint.allow; stale entries fail the run.
+lint:
+	$(GO) run ./cmd/libralint $(PKGS)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 0 $(PKGS)
@@ -59,4 +65,4 @@ trace-smoke:
 		-trace-out /tmp/libra-trace.json -metrics-out /tmp/libra-metrics.json > /dev/null
 	$(GO) run ./cmd/tracecheck -rus 2 /tmp/libra-trace.json /tmp/libra-metrics.json
 
-ci: build vet fmt test race bench determinism trace-smoke cover
+ci: build vet fmt lint test race bench determinism trace-smoke cover

@@ -1,0 +1,146 @@
+// Command libralint runs the repository's determinism and telemetry
+// analyzers (detlint, telemetrylint, seedlint) over the module and fails on
+// any diagnostic. It is pure stdlib — go/parser + go/types with the source
+// importer — so `go run ./cmd/libralint ./...` works with nothing installed
+// but the Go toolchain.
+//
+// Usage:
+//
+//	libralint [-json] [-allow file] [packages]
+//
+// The package argument is accepted for CLI symmetry with go vet; analysis
+// always loads the whole module (cross-package types are needed anyway) and
+// a `./...` or absolute/relative directory argument narrows which packages'
+// diagnostics are reported. Exit status: 0 clean, 1 diagnostics, 2 usage or
+// load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, "."))
+}
+
+func run(args []string, stdout, stderr io.Writer, dir string) int {
+	fs := flag.NewFlagSet("libralint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	allowPath := fs.String("allow", "", "allowlist file (default <module root>/libralint.allow)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "libralint:", err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "libralint:", err)
+		return 2
+	}
+
+	if *allowPath == "" {
+		*allowPath = filepath.Join(root, "libralint.allow")
+	}
+	allow, err := analysis.ParseAllowlistFile(*allowPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "libralint:", err)
+		return 2
+	}
+
+	diags := analysis.RunModule(mod, analysis.Analyzers(), allow)
+	diags = filterByPatterns(diags, fs.Args(), root, dir)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "libralint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "libralint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterByPatterns narrows diagnostics to the requested package patterns.
+// Supported forms: none or "./..." (everything), "./x/..." (subtree), and
+// plain directories ("./internal/sim", "internal/sim").
+func filterByPatterns(diags []analysis.Diagnostic, patterns []string, root, dir string) []analysis.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	type scope struct {
+		rel string
+		rec bool
+	}
+	var scopes []scope
+	for _, pat := range patterns {
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec = true
+			pat = rest
+		} else if pat == "..." {
+			rec = true
+			pat = "."
+		}
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			if dirAbs, err := filepath.Abs(dir); err == nil {
+				abs = filepath.Join(dirAbs, pat)
+			}
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		if rel == "." {
+			rel = ""
+		}
+		if rec && rel == "" {
+			return diags // whole module
+		}
+		scopes = append(scopes, scope{rel: filepath.ToSlash(rel), rec: rec})
+	}
+	if len(scopes) == 0 {
+		return nil
+	}
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		pkg := filepath.ToSlash(filepath.Dir(d.File))
+		if pkg == "." {
+			pkg = ""
+		}
+		for _, s := range scopes {
+			if pkg == s.rel || (s.rec && strings.HasPrefix(pkg, s.rel+"/")) {
+				kept = append(kept, d)
+				break
+			}
+		}
+	}
+	return kept
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanRepo mirrors the CI invocation: the repository must lint clean
+// through the real CLI path (module load, allowlist, pattern filter).
+func TestRunCleanRepo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./..."}, &out, &errb, "."); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", out.String())
+	}
+}
+
+// TestRunJSONMode checks the -json contract: valid JSON array on stdout even
+// when empty, so CI tooling can always parse the output.
+func TestRunJSONMode(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "./..."}, &out, &errb, "."); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean repo should produce an empty array, got %d entries", len(diags))
+	}
+}
+
+// TestRunScopedPattern narrows to a single package directory.
+func TestRunScopedPattern(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"../../internal/sched"}, &out, &errb, "."); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestRunBadFlag exercises the usage-error path.
+func TestRunBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb, "."); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,172 @@
+// Package analysis is libralint's engine: a pure-stdlib static-analysis
+// driver (go/parser + go/ast + go/types with the source importer) plus the
+// three domain analyzers that turn the simulator's determinism guarantees
+// from convention into compile-time law:
+//
+//   - detlint       — no wall clock, no global rand, no float equality, no
+//     order-sensitive map iteration in deterministic packages
+//   - telemetrylint — every telemetry emit on a hot path is dominated by a
+//     nil-guard, preserving the one-branch zero-alloc disabled path
+//   - seedlint      — every rand.NewSource argument derives from a
+//     configured seed, never a wall-clock or address-derived value
+//
+// The driver deliberately has no dependency on golang.org/x/tools: go.mod
+// stays empty, and the suite runs anywhere the Go toolchain exists.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Pkg *Package
+	// RelPath is the module-relative package path the analyzer should treat
+	// the package as having. It normally equals Pkg.RelPath; the golden
+	// harness overrides it so fixture packages exercise path-scoped rules.
+	RelPath string
+
+	diags *[]Diagnostic
+	name  string
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters by module-relative package path; a nil Applies means
+	// the analyzer runs on every package.
+	Applies func(relPath string) bool
+	Run     func(p *Pass)
+}
+
+// Analyzers returns the full libralint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detlint(), Telemetrylint(), Seedlint()}
+}
+
+// RunPackage applies one analyzer to one package (honouring Applies) and
+// returns its findings.
+func RunPackage(a *Analyzer, pkg *Package, relPath string) []Diagnostic {
+	if a.Applies != nil && !a.Applies(relPath) {
+		return nil
+	}
+	var diags []Diagnostic
+	a.Run(&Pass{Pkg: pkg, RelPath: relPath, diags: &diags, name: a.Name})
+	sortDiagnostics(diags)
+	return diags
+}
+
+// RunModule applies every analyzer to every package of a loaded module,
+// filters the result through the allowlist, and appends one diagnostic per
+// stale (unused) allowlist entry so the allowlist can never silently rot.
+func RunModule(m *Module, analyzers []*Analyzer, allow *Allowlist) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, a := range analyzers {
+			diags = append(diags, RunPackage(a, pkg, pkg.RelPath)...)
+		}
+	}
+	// Report (and allowlist-match) module-relative paths: stable across
+	// machines and directly comparable to the package paths in entries.
+	for i := range diags {
+		if rel, err := filepath.Rel(m.Root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	diags = allow.Filter(diags)
+	diags = append(diags, allow.Stale()...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// pathIn reports whether rel is the package prefix itself or nested below it
+// (prefix "internal/mem" covers "internal/mem" and "internal/mem/dram").
+func pathIn(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// inAny reports whether rel falls under any of the given package prefixes.
+func inAny(rel string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pathIn(rel, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost function declaration or literal whose
+// body contains pos, together with that body.
+func enclosingFunc(file *ast.File, pos token.Pos) (ast.Node, *ast.BlockStmt) {
+	var fn ast.Node
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos >= n.End() {
+			return n == file
+		}
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil && pos >= d.Body.Pos() && pos < d.Body.End() {
+				fn, body = d, d.Body
+			}
+		case *ast.FuncLit:
+			if pos >= d.Body.Pos() && pos < d.Body.End() {
+				fn, body = d, d.Body
+			}
+		}
+		return true
+	})
+	return fn, body
+}
+
+// baseName returns the final element of a file path.
+func baseName(p string) string { return filepath.Base(p) }

@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages are the module-relative package trees whose output
+// feeds figures, tables or cycle counts — the packages where any
+// order-dependence or wall-clock read silently breaks the byte-identical
+// -jobs guarantee. A prefix covers its subtree (internal/mem covers
+// internal/mem/dram).
+var DeterministicPackages = []string{
+	"internal/sim",
+	"internal/sched",
+	"internal/mem",
+	"internal/raster",
+	"internal/tiling",
+	"internal/workloads",
+	"internal/stats",
+	"internal/energy",
+	"internal/experiments",
+}
+
+// Detlint flags non-determinism sources in deterministic packages:
+//
+//   - time.Now / time.Since — wall-clock reads (inject a Clock instead)
+//   - top-level math/rand functions — process-global, seed-uncontrolled
+//     (seeded rand.New(rand.NewSource(seed)) locals are fine)
+//   - float ==/!= — rounding-dependent (comparisons against an exact
+//     constant zero are allowed: zero is a sentinel, not a computed value)
+//   - range over a map whose body emits order-sensitive effects (appends,
+//     output writes, float accumulation) — unless the loop only collects
+//     into slices that are sorted afterwards in the same function
+func Detlint() *Analyzer {
+	return &Analyzer{
+		Name:    "detlint",
+		Doc:     "forbid wall-clock, global rand, float equality and unsorted map iteration in deterministic packages",
+		Applies: func(rel string) bool { return inAny(rel, DeterministicPackages) },
+		Run:     runDetlint,
+	}
+}
+
+func runDetlint(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkDetCall(p, n)
+			case *ast.BinaryExpr:
+				checkFloatCmp(p, n)
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						checkMapRange(p, f, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pkgFunc resolves id to a package-level function and returns it with its
+// package path, or "" when id is something else (method, var, builtin).
+func pkgFunc(info *types.Info, id *ast.Ident) (*types.Func, string) {
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, "" // methods are fine: the receiver carries the state
+	}
+	return fn, fn.Pkg().Path()
+}
+
+func checkDetCall(p *Pass, sel *ast.SelectorExpr) {
+	fn, path := pkgFunc(p.Pkg.Info, sel.Sel)
+	if fn == nil {
+		return
+	}
+	switch path {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			p.Report(sel.Pos(), "wall-clock read time.%s in a deterministic package: inject a Clock or use simulation cycles", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors build seed-controlled local generators; everything
+		// else drains the process-global, seed-uncontrolled source.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			p.Report(sel.Pos(), "global rand.%s in a deterministic package: use a seeded rand.New(rand.NewSource(seed)) local", fn.Name())
+		}
+	}
+}
+
+func checkFloatCmp(p *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	info := p.Pkg.Info
+	if !isFloat(info.TypeOf(b.X)) && !isFloat(info.TypeOf(b.Y)) {
+		return
+	}
+	if isConstZero(info, b.X) || isConstZero(info, b.Y) {
+		return // exact-zero sentinels/guards are reproducible by IEEE 754
+	}
+	p.Report(b.OpPos, "float %s comparison is rounding-dependent: compare against a tolerance or restructure", b.Op)
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		basic, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return basic.Info()&types.IsFloat != 0
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// mapRangeEffects classifies the order-sensitive effects of one map-range
+// body.
+type mapRangeEffects struct {
+	appends []*ast.Ident // idents appended to (exemptable by a later sort)
+	hard    []hardEffect // effects no later sort can repair
+}
+
+type hardEffect struct {
+	pos  token.Pos
+	what string
+}
+
+func checkMapRange(p *Pass, file *ast.File, rng *ast.RangeStmt) {
+	eff := mapRangeEffects{}
+	collectMapRangeEffects(p, rng.Body, &eff)
+	for _, h := range eff.hard {
+		p.Report(h.pos, "map iteration order is random: %s inside a map range — sort the keys first", h.what)
+	}
+	if len(eff.hard) > 0 || len(eff.appends) == 0 {
+		return
+	}
+	// Pure collect loops are the sanctioned idiom *if* every collected slice
+	// is sorted after the loop in the same function.
+	_, body := enclosingFunc(file, rng.Pos())
+	for _, id := range eff.appends {
+		if body == nil || !sortedAfter(p, body, rng, id) {
+			p.Report(id.Pos(), "map iteration order is random: %q is filled from a map range but never sorted afterwards", id.Name)
+		}
+	}
+}
+
+func collectMapRangeEffects(p *Pass, body *ast.BlockStmt, eff *mapRangeEffects) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if what := outputCall(info, n); what != "" {
+				eff.hard = append(eff.hard, hardEffect{n.Pos(), what})
+			}
+		case *ast.AssignStmt:
+			classifyAssign(info, n, eff)
+		case *ast.RangeStmt:
+			// Nested map ranges report on their own; don't double-count.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// outputCall reports a human-readable description when call writes output
+// (fmt helpers or Write* methods), else "".
+func outputCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if fn, path := pkgFunc(info, sel.Sel); fn != nil {
+		switch path {
+		case "fmt":
+			return "fmt." + fn.Name() + " writes output"
+		case "io":
+			if fn.Name() == "WriteString" {
+				return "io.WriteString writes output"
+			}
+		}
+		return ""
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Printf", "Print", "Println":
+			return fn.Name() + " writes output"
+		}
+	}
+	return ""
+}
+
+// classifyAssign records float accumulation as a hard effect and appends as
+// exemptable collection.
+func classifyAssign(info *types.Info, as *ast.AssignStmt, eff *mapRangeEffects) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(info.TypeOf(lhs)) {
+				eff.hard = append(eff.hard, hardEffect{as.Pos(), "float accumulation is order-dependent"})
+			}
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if ok && isBuiltinAppend(info, call) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				eff.appends = append(eff.appends, id)
+			} else {
+				eff.hard = append(eff.hard, hardEffect{as.Pos(), "append to a non-local target is order-dependent"})
+			}
+			continue
+		}
+		// x = x + y with float x re-accumulates in map order.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && isFloat(info.TypeOf(id)) && mentionsIdent(info, rhs, info.ObjectOf(id)) {
+			eff.hard = append(eff.hard, hardEffect{as.Pos(), "float accumulation is order-dependent"})
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func mentionsIdent(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether target (an ident appended to inside rng) is
+// passed to a sort/slices call after the loop within fn's body.
+func sortedAfter(p *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, target *ast.Ident) bool {
+	info := p.Pkg.Info
+	obj := info.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, path := pkgFunc(info, sel.Sel)
+		if fn == nil || (path != "sort" && path != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsIdent(info, arg, obj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"regexp"
+	"strconv"
+)
+
+// LoadFixturePackage parses and type-checks one extra directory (an analyzer
+// testdata fixture) against an already-loaded module: module-internal
+// imports resolve to the loaded packages, the standard library comes from
+// source. relPath is the module-relative package path the fixture pretends
+// to live at, so path-scoped analyzers (detlint, telemetrylint) treat it as
+// in-scope.
+func LoadFixturePackage(m *Module, dir, relPath string) (*Package, error) {
+	pd, err := parseDir(m.Fset, dir, m.Path)
+	if err != nil {
+		return nil, err
+	}
+	if pd == nil {
+		return nil, fmt.Errorf("%s: no Go files", dir)
+	}
+	pd.relPath = relPath
+	imp := &moduleImporter{mod: m, std: importer.ForCompiler(m.Fset, "source", nil)}
+	return m.check(pd, imp)
+}
+
+// wantRx extracts the quoted patterns of a `// want "..." ...` assertion.
+// Both Go-quoted strings and backtick-quoted regexps are accepted.
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Expectation is one `// want` assertion: every pattern must match a
+// diagnostic on the same line of the same file.
+type Expectation struct {
+	File     string
+	Line     int
+	Patterns []*regexp.Regexp
+}
+
+// CollectExpectations gathers the `// want` annotations of a fixture
+// package, keyed by nothing — callers match them positionally against
+// RunPackage output.
+func CollectExpectations(pkg *Package) ([]Expectation, error) {
+	var exps []Expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				exp, err := parseWant(pkg, c)
+				if err != nil {
+					return nil, err
+				}
+				if exp != nil {
+					exps = append(exps, *exp)
+				}
+			}
+		}
+	}
+	return exps, nil
+}
+
+var wantPrefix = regexp.MustCompile(`^//\s*want\s`)
+
+func parseWant(pkg *Package, c *ast.Comment) (*Expectation, error) {
+	if !wantPrefix.MatchString(c.Text) {
+		return nil, nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var pats []*regexp.Regexp
+	for _, q := range wantRx.FindAllString(c.Text, -1) {
+		text := q
+		if text[0] == '"' {
+			unq, err := strconv.Unquote(text)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad want string %s: %v", pos, q, err)
+			}
+			text = unq
+		} else {
+			text = text[1 : len(text)-1]
+		}
+		rx, err := regexp.Compile(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+		}
+		pats = append(pats, rx)
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("%s: want comment with no patterns", pos)
+	}
+	return &Expectation{File: pos.Filename, Line: pos.Line, Patterns: pats}, nil
+}
+
+// MatchExpectations verifies diagnostics against want annotations: every
+// pattern must match exactly one (or more) diagnostics on its line, and
+// every diagnostic must be claimed by some pattern. It returns one
+// human-readable problem per mismatch.
+func MatchExpectations(exps []Expectation, diags []Diagnostic) []string {
+	var problems []string
+	claimed := make([]bool, len(diags))
+	for _, exp := range exps {
+		for _, rx := range exp.Patterns {
+			matched := false
+			for i, d := range diags {
+				if d.File == exp.File && d.Line == exp.Line && rx.MatchString(d.Message) {
+					claimed[i] = true
+					matched = true
+				}
+			}
+			if !matched {
+				problems = append(problems,
+					fmt.Sprintf("%s:%d: no diagnostic matching %q", exp.File, exp.Line, rx))
+			}
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	return problems
+}

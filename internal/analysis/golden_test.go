@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The module is loaded once per test binary: type-checking the whole repo
+// from source costs a couple of seconds and every golden test needs it (the
+// telemetrylint fixture imports repro/internal/telemetry).
+var (
+	repoOnce sync.Once
+	repoMod  *Module
+	repoErr  error
+)
+
+func loadRepo(t *testing.T) *Module {
+	t.Helper()
+	repoOnce.Do(func() {
+		repoMod, repoErr = LoadModule("../..")
+	})
+	if repoErr != nil {
+		t.Fatalf("loading module: %v", repoErr)
+	}
+	return repoMod
+}
+
+// checkFixture runs one analyzer over one testdata package and enforces the
+// `// want` annotations in both directions: a missing diagnostic fails
+// (detection is proven, not assumed) and an extra diagnostic fails (the
+// allowed patterns really are allowed).
+func checkFixture(t *testing.T, a *Analyzer, fixture, relPath string) {
+	t.Helper()
+	m := loadRepo(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadFixturePackage(m, dir, relPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	exps, err := CollectExpectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) == 0 {
+		t.Fatalf("fixture %s has no want annotations", dir)
+	}
+	diags := RunPackage(a, pkg, relPath)
+	if len(diags) == 0 {
+		t.Fatalf("analyzer %s found nothing in %s: detection is broken", a.Name, dir)
+	}
+	for _, p := range MatchExpectations(exps, diags) {
+		t.Error(p)
+	}
+}
+
+func TestDetlintGolden(t *testing.T) {
+	checkFixture(t, Detlint(), "detlint", "internal/sim")
+}
+
+func TestTelemetrylintGolden(t *testing.T) {
+	checkFixture(t, Telemetrylint(), "telemetrylint", "internal/sim")
+}
+
+func TestSeedlintGolden(t *testing.T) {
+	checkFixture(t, Seedlint(), "seedlint", "internal/workloads")
+}
+
+// TestAnalyzersScopedOut proves the path scoping: the same violating fixtures
+// produce zero diagnostics when the package lies outside the analyzer's
+// scope (detlint and telemetrylint are deterministic/hot-path only).
+func TestAnalyzersScopedOut(t *testing.T) {
+	m := loadRepo(t)
+	for _, tc := range []struct {
+		analyzer *Analyzer
+		fixture  string
+	}{
+		{Detlint(), "detlint"},
+		{Telemetrylint(), "telemetrylint"},
+	} {
+		pkg, err := LoadFixturePackage(m, filepath.Join("testdata", "src", tc.fixture), "cmd/outofscope")
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", tc.fixture, err)
+		}
+		if diags := RunPackage(tc.analyzer, pkg, "cmd/outofscope"); len(diags) != 0 {
+			t.Errorf("%s reported outside its package scope: %v", tc.analyzer.Name, diags)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsLintClean is the acceptance gate mirrored by the CI lint job:
+// the full analyzer suite over the whole module, filtered by the checked-in
+// allowlist, reports nothing. Any new wall-clock read, global rand call,
+// float equality, unsorted map-ordered output, unguarded telemetry emit or
+// unplumbed rand seed fails this test before it can reach CI.
+func TestRepoIsLintClean(t *testing.T) {
+	m := loadRepo(t)
+	allow, err := ParseAllowlistFile(filepath.Join(m.Root, "libralint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunModule(m, Analyzers(), allow) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestAllowlistIsMinimal pins the satellite requirement: exactly one entry
+// (the wall-clock implementation behind experiments.Clock) is allowed to
+// exist. Growing the allowlist is a reviewed decision, not a drift.
+func TestAllowlistIsMinimal(t *testing.T) {
+	m := loadRepo(t)
+	allow, err := ParseAllowlistFile(filepath.Join(m.Root, "libralint.allow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allow.Entries) != 1 {
+		t.Fatalf("libralint.allow has %d entries, want exactly 1 (the Clock wall-clock site)", len(allow.Entries))
+	}
+	e := allow.Entries[0]
+	if e.Analyzer != "detlint" || e.Package != "internal/experiments" || e.File != "clock.go" {
+		t.Errorf("unexpected allowlist entry: %+v", *e)
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedlint polices pseudo-randomness provenance everywhere in the module:
+// every rand.NewSource (and rand/v2 NewPCG) argument must derive from a
+// configured seed — an identifier, field, or call whose name mentions
+// "seed" — and must never touch a wall-clock, process, or address-derived
+// value. Arithmetic on a seed (layoutSeed(frame) + int64(ci)*911) is fine;
+// rand.NewSource(time.Now().UnixNano()) or a bare literal is not: the first
+// is irreproducible, the second bypasses the config/frame seed plumbing that
+// makes ablations comparable.
+func Seedlint() *Analyzer {
+	return &Analyzer{
+		Name: "seedlint",
+		Doc:  "rand.NewSource arguments must derive from a configured seed parameter",
+		Run:  runSeedlint,
+	}
+}
+
+func runSeedlint(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, path := pkgFunc(info, sel.Sel)
+			if fn == nil || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			if fn.Name() != "NewSource" && fn.Name() != "NewPCG" {
+				return true
+			}
+			for _, arg := range call.Args {
+				checkSeedArg(p, fn.Name(), arg)
+			}
+			return true
+		})
+	}
+}
+
+func checkSeedArg(p *Pass, ctor string, arg ast.Expr) {
+	if bad := forbiddenSeedSource(p.Pkg.Info, arg); bad != "" {
+		p.Report(arg.Pos(), "rand.%s seed derives from %s: seeds must come from config/frame parameters so runs reproduce", ctor, bad)
+		return
+	}
+	if !mentionsSeedName(arg) {
+		p.Report(arg.Pos(), "rand.%s argument does not derive from a config/frame seed parameter (name a seed, don't inline a constant)", ctor)
+	}
+}
+
+// forbiddenSeedSource scans arg for irreproducible inputs and describes the
+// first one found.
+func forbiddenSeedSource(info *types.Info, arg ast.Expr) string {
+	bad := ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if bad != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, path := pkgFunc(info, n.Sel); fn != nil {
+				switch path {
+				case "time":
+					bad = "time." + fn.Name() + " (wall clock)"
+				case "os":
+					bad = "os." + fn.Name() + " (process state)"
+				case "math/rand", "math/rand/v2":
+					if !strings.HasPrefix(fn.Name(), "New") {
+						bad = "rand." + fn.Name() + " (global generator)"
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// uintptr(unsafe.Pointer(&x)) and friends: address-derived.
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if tn, ok := info.Uses[id].(*types.TypeName); ok && tn.Name() == "uintptr" {
+					bad = "a pointer value (address-derived)"
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "unsafe" {
+				bad = "unsafe." + obj.Name() + " (address-derived)"
+			}
+		}
+		return bad == ""
+	})
+	return bad
+}
+
+// mentionsSeedName reports whether any identifier in arg has a name
+// containing "seed" (case-insensitive); selector fields and method names are
+// idents too, so cfg.Seed and g.layoutSeed(frame) both qualify.
+func mentionsSeedName(arg ast.Expr) bool {
+	found := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if ok && strings.Contains(strings.ToLower(id.Name), "seed") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathPackages are the module-relative trees on the simulator's inner
+// loop, where telemetry must cost exactly one compare-and-branch when
+// disabled. A prefix covers its subtree.
+var HotPathPackages = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/sched",
+	"internal/mem",
+	"internal/raster",
+}
+
+// telemetryEmitTypes are the internal/telemetry type names whose method
+// calls count as emits.
+var telemetryEmitTypes = map[string]bool{"Recorder": true, "Registry": true}
+
+// Telemetrylint verifies the zero-cost-when-disabled contract from PR 2:
+// every call to a telemetry.Recorder or telemetry.Registry method in a
+// hot-path package must be dominated by a nil-guard on that exact receiver —
+// either an enclosing `if rec != nil { ... }` or a preceding
+// `if rec == nil { return }` in the same block chain. An unguarded emit
+// would make the disabled path either panic (nil interface call) or grow
+// extra work, breaking the cycle-identical guarantee.
+func Telemetrylint() *Analyzer {
+	return &Analyzer{
+		Name:    "telemetrylint",
+		Doc:     "telemetry emits on hot paths must be dominated by a nil-guard on the recorder",
+		Applies: func(rel string) bool { return inAny(rel, HotPathPackages) },
+		Run:     runTelemetrylint,
+	}
+}
+
+func runTelemetrylint(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvName := telemetryEmitReceiver(p.Pkg.Info, sel)
+			if recvName == "" {
+				return true
+			}
+			if !nilGuarded(p, f, call, sel.X) {
+				p.Report(call.Pos(),
+					"telemetry emit %s.%s is not dominated by a nil-guard on %s (the disabled path must stay one branch)",
+					recvName, sel.Sel.Name, types.ExprString(sel.X))
+			}
+			return true
+		})
+	}
+}
+
+// telemetryEmitReceiver returns the telemetry type name ("Recorder",
+// "Registry") when sel is a method call on one, else "".
+func telemetryEmitReceiver(info *types.Info, sel *ast.SelectorExpr) string {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry") {
+		return ""
+	}
+	if !telemetryEmitTypes[obj.Name()] {
+		return ""
+	}
+	// Only method calls on the value are emits; conversions etc. have no Sel
+	// method — require the selector to resolve to a method.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); !ok || fn == nil {
+		return ""
+	}
+	return obj.Name()
+}
+
+// nilGuarded reports whether call, a method call on receiver expression
+// recv, is dominated by a nil check of recv:
+//
+//  1. an ancestor `if <recv> != nil` whose then-branch contains the call
+//     (the check may be one conjunct of a larger condition), or an ancestor
+//     `if <recv> == nil` whose *else*-branch contains the call; or
+//  2. an earlier statement in an enclosing block of the form
+//     `if <recv> == nil { return/continue/break/panic }`.
+//
+// Receiver identity is syntactic (types.ExprString): the guard must test the
+// same expression the emit dereferences, which is exactly the invariant the
+// zero-alloc benchmark measures.
+func nilGuarded(p *Pass, file *ast.File, call *ast.CallExpr, recv ast.Expr) bool {
+	guardStr := types.ExprString(recv)
+	stack := ancestorStack(file, call)
+	for _, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inThen := withinNode(ifs.Body, call.Pos())
+		inElse := ifs.Else != nil && withinNode(ifs.Else, call.Pos())
+		if inThen && condHasNilCheck(ifs.Cond, guardStr, token.NEQ) {
+			return true
+		}
+		if inElse && condHasNilCheck(ifs.Cond, guardStr, token.EQL) {
+			return true
+		}
+	}
+	// Early-exit guards: for every enclosing block, look at the statements
+	// preceding the one the call hangs under.
+	for i, n := range stack {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		// The direct child of this block on the path to the call.
+		var child ast.Node = call
+		if i+1 < len(stack) {
+			child = stack[i+1]
+		}
+		for _, stmt := range block.List {
+			if stmt == child || stmt.Pos() > call.Pos() {
+				break
+			}
+			if earlyExitNilCheck(stmt, guardStr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ancestorStack returns the chain of nodes from file down to (and excluding)
+// target.
+func ancestorStack(file *ast.File, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return found
+}
+
+func withinNode(n ast.Node, pos token.Pos) bool {
+	return n != nil && pos >= n.Pos() && pos < n.End()
+}
+
+// condHasNilCheck walks cond for a `<guard> <op> nil` comparison, so the
+// check may be conjoined with other conditions.
+func condHasNilCheck(cond ast.Expr, guard string, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != op {
+			return !found
+		}
+		x, y := types.ExprString(b.X), types.ExprString(b.Y)
+		if (x == guard && y == "nil") || (y == guard && x == "nil") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// earlyExitNilCheck matches `if <guard> == nil { return/continue/break }`
+// (possibly with extra statements before the exit).
+func earlyExitNilCheck(stmt ast.Stmt, guard string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || ifs.Init != nil {
+		return false
+	}
+	if !condHasNilCheck(ifs.Cond, guard, token.EQL) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	switch last := ifs.Body.List[len(ifs.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.CONTINUE || last.Tok == token.BREAK
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

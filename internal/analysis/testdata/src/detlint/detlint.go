@@ -1,0 +1,89 @@
+// Package fixture exercises detlint. Every line with a `// want` comment
+// must produce a matching diagnostic; every line without one must stay
+// silent — the golden test fails in both directions, proving the analyzer
+// detects violations rather than merely not firing.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clocks reads the wall clock twice; both reads are forbidden here.
+func clocks() (int64, time.Duration) {
+	start := time.Now()    // want `wall-clock read time\.Now`
+	d := time.Since(start) // want `wall-clock read time\.Since`
+	return start.Unix(), d
+}
+
+// globalRand drains the process-global, seed-uncontrolled generator.
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn`
+}
+
+// seededRand is the sanctioned pattern: a locally seeded generator. The
+// rand.New/rand.NewSource constructors themselves must not be flagged.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// floatCmp: equality between computed floats is rounding-dependent.
+func floatCmp(a, b float64) int {
+	if a == b { // want `float == comparison`
+		return 0
+	}
+	if a != b { // want `float != comparison`
+		return 1
+	}
+	if a == 0 { // exact-zero sentinel: allowed
+		return 2
+	}
+	return 3
+}
+
+// mapOutput writes inside a map range: output follows iteration order.
+func mapOutput(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println writes output`
+	}
+}
+
+// mapCollectSorted is the sanctioned collect-then-sort idiom.
+func mapCollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapCollectUnsorted collects in iteration order and never repairs it.
+func mapCollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `never sorted afterwards`
+	}
+	return keys
+}
+
+// mapFloatAccum re-associates float addition in map order.
+func mapFloatAccum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation`
+	}
+	return sum
+}
+
+// mapIntAccum is order-independent: integer addition commutes exactly.
+func mapIntAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Package fixture exercises seedlint: rand.NewSource arguments must derive
+// from a configured seed, never from the wall clock, the process, or an
+// address.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+	"unsafe"
+)
+
+type config struct{ Seed int64 }
+
+// fromConfig derives from the config seed with arithmetic — the sanctioned
+// pattern for per-instance decorrelation.
+func fromConfig(c config, frame int) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed + int64(frame)*911))
+}
+
+// fromParam derives from a seed parameter directly.
+func fromParam(layoutSeed int64) rand.Source {
+	return rand.NewSource(layoutSeed)
+}
+
+// fromClock seeds from the wall clock: irreproducible across runs.
+func fromClock() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `derives from time\.Now`
+}
+
+// fromLiteral bypasses the config/frame seed plumbing entirely.
+func fromLiteral() rand.Source {
+	return rand.NewSource(1234) // want `does not derive from a config/frame seed`
+}
+
+// fromPointer seeds from an object address, which ASLR randomizes per run.
+func fromPointer(x *int) rand.Source {
+	return rand.NewSource(int64(uintptr(unsafe.Pointer(x)))) // want `address-derived`
+}
+
+// fromGlobalRand chains one uncontrolled generator into another.
+func fromGlobalRand() rand.Source {
+	return rand.NewSource(rand.Int63()) // want `global generator`
+}

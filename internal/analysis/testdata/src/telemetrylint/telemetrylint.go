@@ -1,0 +1,60 @@
+// Package fixture exercises telemetrylint: emits on telemetry.Recorder must
+// be dominated by a nil-guard on the very expression being called.
+package fixture
+
+import "repro/internal/telemetry"
+
+type engine struct {
+	rec telemetry.Recorder
+}
+
+// guarded is the canonical one-branch disabled path.
+func (e *engine) guarded(cycle int64) {
+	if e.rec != nil {
+		e.rec.EndFrame(cycle)
+	}
+}
+
+// earlyReturn guards by bailing out at function entry.
+func (e *engine) earlyReturn(cycle int64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.BeginFrame(0, cycle)
+}
+
+// conjoined: the nil check may be one conjunct of a larger condition.
+func (e *engine) conjoined(cycle int64, on bool) {
+	if on && e.rec != nil {
+		e.rec.EndFrame(cycle)
+	}
+}
+
+// localCopy guards a local alias of the recorder.
+func (e *engine) localCopy(cycle int64) {
+	rec := e.rec
+	if rec == nil {
+		return
+	}
+	rec.EndFrame(cycle)
+}
+
+// unguarded panics when telemetry is off — or costs when it is on.
+func (e *engine) unguarded(cycle int64) {
+	e.rec.EndFrame(cycle) // want `not dominated by a nil-guard`
+}
+
+// wrongGuard checks a different recorder than the one it emits on.
+func (e *engine) wrongGuard(other telemetry.Recorder, cycle int64) {
+	if other != nil {
+		e.rec.EndFrame(cycle) // want `not dominated by a nil-guard`
+	}
+}
+
+// guardAfter checks too late: domination means the guard comes first.
+func (e *engine) guardAfter(cycle int64) {
+	e.rec.EndFrame(cycle) // want `not dominated by a nil-guard`
+	if e.rec == nil {
+		return
+	}
+}

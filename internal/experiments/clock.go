@@ -1,0 +1,19 @@
+package experiments
+
+import "time"
+
+// Clock abstracts wall-clock reads so the only component that legitimately
+// needs real time — the stderr progress/ETA reporter — can be driven by a
+// fake in tests and audited in one place. Everything else in the
+// deterministic packages is cycle-driven; detlint enforces that no other
+// time.Now call appears, and this file is the single entry in
+// libralint.allow.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }

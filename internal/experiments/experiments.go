@@ -7,7 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -269,12 +268,7 @@ func (res *Result) Table() string {
 		}
 	}
 	if len(res.Headline) > 0 {
-		keys := make([]string, 0, len(res.Headline))
-		for k := range res.Headline {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		for _, k := range sortedKeys(res.Headline) {
 			fmt.Fprintf(&b, "-- %s: %.4f\n", k, res.Headline[k])
 		}
 	}

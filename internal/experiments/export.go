@@ -3,7 +3,6 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -51,12 +50,7 @@ func (res *Result) Markdown() string {
 		b.WriteByte('\n')
 	}
 	if len(res.Headline) > 0 {
-		keys := make([]string, 0, len(res.Headline))
-		for k := range res.Headline {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		for _, k := range sortedKeys(res.Headline) {
 			fmt.Fprintf(&b, "- **%s**: %.4f\n", k, res.Headline[k])
 		}
 		b.WriteByte('\n')

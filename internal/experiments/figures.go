@@ -263,15 +263,17 @@ func (r *Runner) Fig08Coherence() *Result {
 		Columns: []string{"cum%tiles"},
 	}
 	below20 := 0.0
-	for _, th := range []float64{5, 10, 20, 30, 50, 100} {
+	// Integer thresholds so the 20%-bucket pick is an exact integer
+	// comparison, not a float equality (detlint).
+	for _, th := range []int{5, 10, 20, 30, 50, 100} {
 		cnt := 0
 		for _, d := range diffs {
-			if d <= th {
+			if d <= float64(th) {
 				cnt++
 			}
 		}
 		frac := float64(cnt) / float64(len(diffs)) * 100
-		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("<=%.0f%%", th), Values: []float64{frac}})
+		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("<=%d%%", th), Values: []float64{frac}})
 		if th == 20 {
 			below20 = frac
 		}

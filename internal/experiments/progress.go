@@ -11,23 +11,36 @@ import (
 // carriage-return-rewritten status line (intended for stderr, keeping stdout
 // byte-identical regardless of -jobs). A nil *Progress is a valid no-op, so
 // callers can disable reporting by constructing with a nil writer.
+//
+// Time flows through an injected Clock: production code uses the wall clock,
+// tests use a fake and never sleep.
 type Progress struct {
 	mu    sync.Mutex
 	w     io.Writer
 	label string
 	total int
 	done  int
+	clock Clock
 	start time.Time
 	last  time.Time
 }
 
-// NewProgress starts a reporter for total jobs. A nil writer or non-positive
-// total yields a nil no-op reporter.
+// NewProgress starts a wall-clock reporter for total jobs. A nil writer or
+// non-positive total yields a nil no-op reporter.
 func NewProgress(w io.Writer, label string, total int) *Progress {
+	return NewProgressWithClock(w, label, total, wallClock{})
+}
+
+// NewProgressWithClock is NewProgress with an explicit time source, the
+// constructor tests use to drive the ETA math deterministically.
+func NewProgressWithClock(w io.Writer, label string, total int, clock Clock) *Progress {
 	if w == nil || total <= 0 {
 		return nil
 	}
-	return &Progress{w: w, label: label, total: total, start: time.Now()}
+	if clock == nil {
+		clock = wallClock{}
+	}
+	return &Progress{w: w, label: label, total: total, clock: clock, start: clock.Now()}
 }
 
 // Done records one completed job, refreshing the status line (throttled to
@@ -45,7 +58,7 @@ func (p *Progress) Done() {
 	if p.w == nil || p.total <= 0 {
 		return
 	}
-	now := time.Now()
+	now := p.now()
 	if p.done < p.total && now.Sub(p.last) < 100*time.Millisecond {
 		return
 	}
@@ -71,5 +84,13 @@ func (p *Progress) Finish() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	fmt.Fprintf(p.w, "\r%s %d/%d done in %s\n", p.label, p.done, p.total,
-		time.Since(p.start).Round(time.Millisecond))
+		p.now().Sub(p.start).Round(time.Millisecond))
+}
+
+// now reads the injected clock, tolerating a zero-value struct (no clock).
+func (p *Progress) now() time.Time {
+	if p.clock == nil {
+		return time.Time{}
+	}
+	return p.clock.Now()
 }

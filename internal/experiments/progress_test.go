@@ -3,7 +3,15 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
+
+// fakeClock is a manually advanced Clock: progress/ETA tests drive time
+// forward explicitly instead of sleeping.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) Now() time.Time          { return f.t }
+func (f *fakeClock) Advance(d time.Duration) { f.t = f.t.Add(d) }
 
 func TestProgressNilIsNoOp(t *testing.T) {
 	var p *Progress
@@ -17,6 +25,71 @@ func TestProgressNilIsNoOp(t *testing.T) {
 	}
 	if got := NewProgress(&strings.Builder{}, "x", -1); got != nil {
 		t.Error("NewProgress(negative total) should return nil")
+	}
+}
+
+// TestProgressETAFakeClock drives the ETA math deterministically: after 1s
+// for the first of 4 jobs the remaining 3 must be estimated at 3s, and the
+// final line must report the full elapsed time — no sleeping, no flakiness.
+func TestProgressETAFakeClock(t *testing.T) {
+	var b strings.Builder
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgressWithClock(&b, "jobs", 4, fc)
+	if p == nil {
+		t.Fatal("NewProgressWithClock returned nil for a valid config")
+	}
+
+	fc.Advance(time.Second)
+	p.Done()
+	if out := b.String(); !strings.Contains(out, "jobs 1/4 (25%) eta 3s") {
+		t.Errorf("after 1 job in 1s, want eta 3s, got %q", out)
+	}
+
+	fc.Advance(time.Second)
+	p.Done()
+	if out := b.String(); !strings.Contains(out, "jobs 2/4 (50%) eta 2s") {
+		t.Errorf("after 2 jobs in 2s, want eta 2s, got %q", out)
+	}
+
+	fc.Advance(time.Second)
+	p.Done()
+	fc.Advance(time.Second)
+	p.Done()
+	p.Finish()
+	if out := b.String(); !strings.Contains(out, "jobs 4/4 done in 4s") {
+		t.Errorf("want final elapsed 4s, got %q", out)
+	}
+}
+
+// TestProgressThrottleFakeClock: updates inside the 100ms window are
+// suppressed except for the final job.
+func TestProgressThrottleFakeClock(t *testing.T) {
+	var b strings.Builder
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgressWithClock(&b, "jobs", 3, fc)
+	fc.Advance(time.Second)
+	p.Done() // prints: first refresh past the throttle window
+	fc.Advance(time.Millisecond)
+	p.Done() // suppressed: 1ms after the last refresh
+	if out := b.String(); strings.Contains(out, "2/3") {
+		t.Errorf("second update should be throttled, got %q", out)
+	}
+	fc.Advance(time.Millisecond)
+	p.Done() // final job always prints
+	if out := b.String(); !strings.Contains(out, "3/3") {
+		t.Errorf("final update must bypass the throttle, got %q", out)
+	}
+}
+
+// TestProgressWithNilClock: a nil Clock falls back to the wall clock rather
+// than panicking.
+func TestProgressWithNilClock(t *testing.T) {
+	var b strings.Builder
+	p := NewProgressWithClock(&b, "jobs", 1, nil)
+	p.Done()
+	p.Finish()
+	if out := b.String(); !strings.Contains(out, "1/1") {
+		t.Errorf("nil-clock reporter should still report, got %q", out)
 	}
 }
 

@@ -1,7 +1,5 @@
 package experiments
 
-import "sort"
-
 // Registry maps every experiment id (figures, tables, ablations) to its
 // driver on this runner — the single catalogue shared by cmd/librasim, the
 // bench harness and the CI determinism checks.
@@ -36,11 +34,5 @@ func (r *Runner) Registry() map[string]func() *Result {
 
 // ExperimentIDs returns the registry's ids in stable sorted order.
 func (r *Runner) ExperimentIDs() []string {
-	reg := r.Registry()
-	ids := make([]string, 0, len(reg))
-	for k := range reg {
-		ids = append(ids, k)
-	}
-	sort.Strings(ids)
-	return ids
+	return sortedKeys(r.Registry())
 }

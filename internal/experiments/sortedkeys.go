@@ -1,0 +1,17 @@
+package experiments
+
+import "sort"
+
+// sortedKeys returns m's keys in ascending order. Every map export on a
+// stdout/markdown path iterates via this helper so output ordering is
+// structural — a property of the export code — rather than incidental to
+// Go's randomized map iteration. detlint flags any map range that writes
+// output directly; this is the sanctioned route.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -24,7 +24,9 @@ func Instrument(s Scheduler, rec telemetry.Recorder) Scheduler {
 // NextTile implements Scheduler.
 func (s *Instrumented) NextTile(ru int) int {
 	t := s.Scheduler.NextTile(ru)
-	if t >= 0 {
+	// Instrument never constructs with a nil recorder, but the nil-guard is
+	// the structural invariant telemetrylint enforces at every emit site.
+	if t >= 0 && s.rec != nil {
 		s.rec.TileAssigned(ru, t)
 	}
 	return t

@@ -133,8 +133,13 @@ func RankSupertiles(super tiling.SupertileGrid, prev *stats.TileTable) []int {
 	}
 	sort.SliceStable(ids, func(a, b int) bool {
 		ia, ib := ids[a], ids[b]
-		if temp[ia] != temp[ib] {
-			return temp[ia] > temp[ib]
+		// Strict > in both directions rather than a != tie-break test: same
+		// ordering, no float-equality comparison (detlint).
+		if temp[ia] > temp[ib] {
+			return true
+		}
+		if temp[ib] > temp[ia] {
+			return false
 		}
 		if dram[ia] != dram[ib] {
 			return dram[ia] > dram[ib]
