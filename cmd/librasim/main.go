@@ -39,6 +39,7 @@ func main() {
 		paper      = flag.Bool("paper", false, "run experiments at the paper's full FHD scale (slow)")
 		format     = flag.String("format", "table", "experiment output format: table | markdown | json")
 		jobs       = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations for experiments (<=0 = NumCPU, or $LIBRA_JOBS)")
+		simWorkers = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); results are byte-identical for any value")
 		heat       = flag.Bool("heatmap", false, "print the per-tile DRAM heatmap of the last frame (single run)")
 		screenshot = flag.String("screenshot", "", "write the last rendered frame as a PPM image to this path (single run)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) to this path; for -experiment, traces the first simulation")
@@ -50,9 +51,9 @@ func main() {
 	case *list:
 		printSuite()
 	case *experiment != "":
-		runExperiments(*experiment, *paper, *format, *jobs, *traceOut, *metricsOut)
+		runExperiments(*experiment, *paper, *format, *jobs, *simWorkers, *traceOut, *metricsOut)
 	case *game != "":
-		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *heat, *screenshot, *traceOut, *metricsOut)
+		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *simWorkers, *heat, *screenshot, *traceOut, *metricsOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -96,12 +97,13 @@ func printSuite() {
 	}
 }
 
-func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat bool, screenshot, traceOut, metricsOut string) {
+func singleRun(game, policy string, rus, cores, frames, w, h, l2kb, simWorkers int, heat bool, screenshot, traceOut, metricsOut string) {
 	cfg := libra.DefaultConfig(w, h)
 	cfg.RasterUnits = rus
 	cfg.CoresPerRU = cores
 	cfg.Policy = libra.Policy(policy)
 	cfg.L2KB = l2kb
+	cfg.SimWorkers = simWorkers
 	run, err := libra.NewRun(cfg, game)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -141,11 +143,12 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb int, heat boo
 	}
 }
 
-func runExperiments(id string, paper bool, format string, jobs int, traceOut, metricsOut string) {
+func runExperiments(id string, paper bool, format string, jobs, simWorkers int, traceOut, metricsOut string) {
 	p := experiments.DefaultParams()
 	if paper {
 		p = experiments.PaperParams()
 	}
+	p.SimWorkers = simWorkers
 	r := experiments.NewRunner(p)
 	r.SetJobs(jobs)
 	// With -trace-out/-metrics-out, capture the first simulation the

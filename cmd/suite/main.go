@@ -33,6 +33,7 @@ func main() {
 		screenH = flag.Int("h", 384, "screen height")
 		l2kb    = flag.Int("l2kb", 1024, "shared L2 KiB (0 = Table I 2MB)")
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
+		simWork = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); stdout is byte-identical for any value")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) of one traced run to this path")
@@ -57,6 +58,7 @@ func main() {
 
 	withL2 := func(c libra.Config) libra.Config {
 		c.L2KB = *l2kb
+		c.SimWorkers = *simWork
 		return c
 	}
 	configs := []struct {
@@ -142,8 +144,8 @@ func main() {
 			cycles = append(cycles, s.TotalCycles)
 			fmt.Printf("  %12d", s.TotalCycles)
 		}
-		pg := (float64(cycles[0])/float64(cycles[1]) - 1) * 100
-		lg := (float64(cycles[0])/float64(cycles[2]) - 1) * 100
+		pg := gainPct(cycles[0], cycles[1])
+		lg := gainPct(cycles[0], cycles[2])
 		ptrGain = append(ptrGain, pg)
 		libraGain = append(libraGain, lg)
 		fmt.Printf("  %+8.2f %+8.2f\n", pg, lg)
@@ -175,6 +177,16 @@ func main() {
 		write(*traceOut, tr.ExportChromeTrace)
 		write(*metricsOut, tr.ExportMetrics)
 	}
+}
+
+// gainPct is the speedup of over vs base as a percentage; a zero-cycle run
+// (an empty frame window) reports 0 rather than NaN/Inf so the table and its
+// average stay finite.
+func gainPct(base, over int64) float64 {
+	if over == 0 {
+		return 0
+	}
+	return (float64(base)/float64(over) - 1) * 100
 }
 
 func mean(xs []float64) float64 {

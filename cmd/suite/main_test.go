@@ -1,0 +1,26 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGainPctFinite pins the zero-cycle behaviour of the comparison columns:
+// a degenerate run must print +0.00, not NaN or Inf.
+func TestGainPctFinite(t *testing.T) {
+	if g := gainPct(100, 0); g != 0 {
+		t.Errorf("gainPct(100, 0) = %v, want 0", g)
+	}
+	if g := gainPct(0, 0); g != 0 {
+		t.Errorf("gainPct(0, 0) = %v, want 0", g)
+	}
+	if g := gainPct(150, 100); g != 50 {
+		t.Errorf("gainPct(150, 100) = %v, want 50", g)
+	}
+	if g := gainPct(0, 100); math.IsNaN(g) || g != -100 {
+		t.Errorf("gainPct(0, 100) = %v, want -100", g)
+	}
+	if m := mean(nil); m != 0 {
+		t.Errorf("mean(nil) = %v, want 0", m)
+	}
+}

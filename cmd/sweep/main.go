@@ -34,6 +34,7 @@ func main() {
 		screenW = flag.Int("w", 640, "screen width")
 		screenH = flag.Int("h", 384, "screen height")
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
+		simWork = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); stdout is byte-identical for any value")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 		cfg := libra.DefaultConfig(*screenW, *screenH)
 		cfg.Policy = libra.Policy(*policy)
 		cfg.L2KB = 1024
+		cfg.SimWorkers = *simWork
 		cfg.RasterUnits = 2
 		cfg.CoresPerRU = 4
 		switch *axis {
@@ -113,6 +115,15 @@ func main() {
 		s := summaries[i]
 		fmt.Printf("%8d %12d %8.1f %8.3f %8.1f %10.0f   (%+.1f%%)\n",
 			v, s.TotalCycles, s.AvgFPS, s.AvgTexHit, s.AvgTexLatency, s.EnergyUJ,
-			(float64(base)/float64(s.TotalCycles)-1)*100)
+			gainPct(base, s.TotalCycles))
 	}
+}
+
+// gainPct is the speedup of over vs base as a percentage; a zero-cycle run
+// reports 0 rather than NaN/Inf so the normalization column stays finite.
+func gainPct(base, over int64) float64 {
+	if over == 0 {
+		return 0
+	}
+	return (float64(base)/float64(over) - 1) * 100
 }

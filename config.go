@@ -65,6 +65,14 @@ type Config struct {
 	RasterUnits int
 	CoresPerRU  int
 
+	// SimWorkers shards one simulation's functional rasterization across
+	// that many host worker goroutines (intra-frame parallelism); 0 or 1 is
+	// the serial reference engine. Results are byte-identical for any value:
+	// cycle counts, statistics, telemetry and frame hashes do not change.
+	// Compose with the experiment drivers' -jobs fan-out: -jobs spreads
+	// *across* simulations, SimWorkers speeds up each *single* simulation.
+	SimWorkers int
+
 	Policy Policy
 	// SupertileSize is the fixed supertile edge for PolicyStaticSupertile
 	// and PolicyTemperature (2, 4, 8 or 16).
@@ -149,6 +157,9 @@ func (c Config) Validate() error {
 	if c.RasterUnits < 1 || c.CoresPerRU < 1 {
 		return fmt.Errorf("libra: need at least one raster unit and core")
 	}
+	if c.SimWorkers < 0 {
+		return fmt.Errorf("libra: negative sim workers %d", c.SimWorkers)
+	}
 	switch c.Policy {
 	case PolicyZOrder, PolicyStaticSupertile, PolicyTemperature, PolicyLIBRA,
 		PolicyHilbert, PolicyReverse, PolicyRandom, PolicyAltTemperature, "":
@@ -178,6 +189,7 @@ func (c Config) toCore() core.Config {
 	}
 	cc.Sim.RasterUnits = c.RasterUnits
 	cc.Sim.CoresPerRU = c.CoresPerRU
+	cc.Sim.Workers = c.SimWorkers
 	switch c.Policy {
 	case PolicyStaticSupertile:
 		cc.Mode = core.ModeStaticSupertile

@@ -1,6 +1,7 @@
 package libra_test
 
 import (
+	"fmt"
 	"testing"
 
 	libra "repro"
@@ -19,5 +20,29 @@ func BenchmarkFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run.RenderFrame()
+	}
+}
+
+// BenchmarkFrameWorkers times the same steady-state frame under the serial
+// reference engine (workers=1) and the parallel rasterization farm — the
+// speedup record for Config.SimWorkers. Every sub-benchmark computes
+// byte-identical results; only wall-clock time may differ, and it only
+// improves when the host grants the process multiple CPUs.
+func BenchmarkFrameWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := libra.LIBRA(640, 384, 2)
+			cfg.SimWorkers = workers
+			run, err := libra.NewRun(cfg, "SuS")
+			if err != nil {
+				b.Fatal(err)
+			}
+			run.RenderFrames(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run.RenderFrame()
+			}
+		})
 	}
 }

@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+// Metamorphic properties of the simulator: relations between runs that must
+// hold for any workload, checked over a sample of benchmarks spanning both
+// suite halves. Unlike the golden tests these need no reference values — they
+// catch regressions where the timing model stays plausible but bends the
+// physics (e.g. extra bandwidth slowing a frame down).
+//
+// The sample mixes memory- and compute-intensive 2D/2.5D/3D profiles. Frame
+// budgets are short: each property is per-frame, so a few frames of a
+// coherent animation already exercise it under distinct layouts.
+var metamorphicGames = []string{"SuS", "CCS", "HoW", "FlB"}
+
+const metamorphicFrames = 3
+
+// sumCycles totals the frame cycles of a run.
+func sumCycles(frames []FrameResult) int64 {
+	var s int64
+	for _, f := range frames {
+		s += f.TotalCycles
+	}
+	return s
+}
+
+// sumDRAM totals the DRAM accesses of a run.
+func sumDRAM(frames []FrameResult) uint64 {
+	var s uint64
+	for _, f := range frames {
+		s += f.DRAMStats.Accesses()
+	}
+	return s
+}
+
+// TestDoubledBandwidthNeverSlowsFrames checks that doubling DRAM bandwidth
+// (halving the cycles a burst occupies the channel) never increases frame
+// cycles. The static PTR scheduler keeps the tile→RU assignment fixed across
+// the two runs, so the comparison isolates the memory system: same work,
+// strictly faster DRAM.
+func TestDoubledBandwidthNeverSlowsFrames(t *testing.T) {
+	for _, game := range metamorphicGames {
+		base := PTRConfig(testW, testH, 2)
+		fast := PTRConfig(testW, testH, 2)
+		fast.DRAM.BurstCycles = base.DRAM.BurstCycles / 2
+		slow := renderFrames(t, base, game, metamorphicFrames)
+		quick := renderFrames(t, fast, game, metamorphicFrames)
+		for i := range slow {
+			if quick[i].TotalCycles > slow[i].TotalCycles {
+				t.Errorf("%s frame %d: doubled DRAM bandwidth raised cycles %d -> %d",
+					game, i, slow[i].TotalCycles, quick[i].TotalCycles)
+			}
+		}
+	}
+}
+
+// TestExtraRasterUnitNeverSlowsFrames checks that adding a Raster Unit (with
+// its own cores and L1 caches) to the PTR configuration never increases
+// frame cycles: more parallel tile capacity over the same memory system must
+// not hurt the frame's critical path.
+func TestExtraRasterUnitNeverSlowsFrames(t *testing.T) {
+	for _, game := range metamorphicGames {
+		two := renderFrames(t, PTRConfig(testW, testH, 2), game, metamorphicFrames)
+		three := renderFrames(t, PTRConfig(testW, testH, 3), game, metamorphicFrames)
+		for i := range two {
+			if three[i].TotalCycles > two[i].TotalCycles {
+				t.Errorf("%s frame %d: third raster unit raised cycles %d -> %d",
+					game, i, two[i].TotalCycles, three[i].TotalCycles)
+			}
+		}
+	}
+}
+
+// TestLIBRADRAMWithinStaticEnvelope checks the paper's traffic claim from
+// the scheduling side: the adaptive LIBRA scheduler reorders and regroups
+// tiles to smooth DRAM demand, and whatever it chooses must not generate
+// more DRAM traffic than the worst static tile order does on the same
+// hardware. (All schedulers shade identical fragments, so traffic differences
+// come purely from cache locality of the chosen order.)
+func TestLIBRADRAMWithinStaticEnvelope(t *testing.T) {
+	staticModes := []Mode{ModeZOrder, ModeStaticSupertile, ModeHilbert, ModeRandom}
+	for _, game := range metamorphicGames {
+		var worst uint64
+		var worstMode Mode
+		for _, m := range staticModes {
+			cfg := PTRConfig(testW, testH, 2)
+			cfg.Mode = m
+			if d := sumDRAM(renderFrames(t, cfg, game, metamorphicFrames)); d > worst {
+				worst, worstMode = d, m
+			}
+		}
+		libra := sumDRAM(renderFrames(t, LIBRAConfig(testW, testH, 2), game, metamorphicFrames))
+		if libra > worst {
+			t.Errorf("%s: LIBRA DRAM traffic %d exceeds worst static order %d (%s)",
+				game, libra, worst, worstMode)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/scene"
+)
+
+// TestZeroWorkFrameStaysFinite renders a completely empty scene — no draws,
+// no primitives, no fragments — and requires every derived floating-point
+// metric to stay finite. Zero-work frames reach the derived-metric code with
+// all-zero denominators, and a single NaN makes every JSON export fail
+// (encoding/json rejects NaN) besides poisoning downstream averages.
+func TestZeroWorkFrameStaysFinite(t *testing.T) {
+	gpu := New(DefaultConfig(testW, testH))
+	res := gpu.RenderFrame(scene.NewScene())
+
+	if res.Fragments != 0 {
+		t.Fatalf("empty scene shaded %d fragments", res.Fragments)
+	}
+	finite := func(name string, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s is not finite: %v", name, v)
+		}
+	}
+	finite("TexHitRatio", res.TexHitRatio)
+	finite("AvgTexLatency", res.AvgTexLatency)
+	finite("Replication", res.Replication)
+	finite("FPS", res.FPS(800e6))
+	finite("DRAM.AvgLatency", res.DRAMStats.AvgLatency())
+	finite("DRAM.RowHitRatio", res.DRAMStats.RowHitRatio())
+	for i, u := range res.RUUtilization {
+		finite("RUUtilization", u)
+		if u != 0 {
+			t.Errorf("idle RU %d reports utilization %v", i, u)
+		}
+	}
+	for name, v := range map[string]float64{
+		"Energy.Core": res.Energy.Core, "Energy.L1": res.Energy.L1,
+		"Energy.L2": res.Energy.L2, "Energy.DRAM": res.Energy.DRAM,
+		"Energy.Static": res.Energy.Static, "Energy.Total": res.Energy.Total,
+	} {
+		finite(name, v)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("zero-work frame result does not marshal: %v", err)
+	}
+}

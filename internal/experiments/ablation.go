@@ -126,7 +126,10 @@ func (r *Runner) AblationPFR() *Result {
 		if err != nil {
 			panic(err)
 		}
-		gain := (float64(pfr.TotalCycles)/float64(seq) - 1) * 100
+		var gain float64
+		if seq != 0 {
+			gain = (float64(pfr.TotalCycles)/float64(seq) - 1) * 100
+		}
 		return Row{Label: g, Values: []float64{
 			float64(seq), float64(pfr.TotalCycles), gain,
 		}}

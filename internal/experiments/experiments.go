@@ -26,6 +26,11 @@ type Params struct {
 	// L2KB scales the shared L2 with the screen so the cache-to-working-set
 	// ratio of the FHD evaluation is preserved (0 = Table I's 2 MB).
 	L2KB int
+	// SimWorkers shards each simulation's functional rasterization across
+	// that many host workers (libra.Config.SimWorkers); 0/1 = serial. All
+	// results — and hence every figure and table — are byte-identical for
+	// any value.
+	SimWorkers int
 }
 
 // DefaultParams returns the standard experiment scale: 1/8.4 of the FHD
@@ -182,6 +187,7 @@ func column(rows []Row, k int) []float64 {
 // scale applies the runner's hardware scaling to a configuration.
 func (r *Runner) scale(cfg libra.Config) libra.Config {
 	cfg.L2KB = r.P.L2KB
+	cfg.SimWorkers = r.P.SimWorkers
 	return cfg
 }
 
@@ -276,6 +282,17 @@ func (res *Result) Table() string {
 		b.WriteString(res.Art)
 	}
 	return b.String()
+}
+
+// ratio returns num/den, or 0 when the denominator is zero. Degenerate
+// zero-work runs (empty scenes, zero-cycle frame windows) must still yield
+// finite metrics: a NaN here would poison every mean() aggregate and make
+// Result.JSON fail, since encoding/json rejects NaN.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }
 
 // mean of a slice (0 when empty).

@@ -23,7 +23,7 @@ func (r *Runner) Fig01Breakdown() *Result {
 			geom += f.GeometryCycles
 			total += f.TotalCycles
 		}
-		gf := float64(geom) / float64(total) * 100
+		gf := ratio(float64(geom), float64(total)) * 100
 		return Row{Label: g, Values: []float64{gf, 100 - gf}}
 	})
 	res.Headline = map[string]float64{"avg_raster_pct": mean(column(res.Rows, 1))}
@@ -446,8 +446,8 @@ func (r *Runner) Fig14DramAccesses() *Result {
 	res.Rows = r.perGame(memGames(), func(g string) Row {
 		ptr := r.Run(r.PTR(2), g)
 		lib := r.Run(r.LIBRA(2), g)
-		ratio := float64(lib.Summary.DRAMAccesses) / float64(ptr.Summary.DRAMAccesses)
-		return Row{Label: g, Values: []float64{ratio}}
+		norm := ratio(float64(lib.Summary.DRAMAccesses), float64(ptr.Summary.DRAMAccesses))
+		return Row{Label: g, Values: []float64{norm}}
 	})
 	res.Headline = map[string]float64{"avg_normalized": mean(column(res.Rows, 0))}
 	return res
@@ -632,7 +632,7 @@ func (r *Runner) RankingOverhead() *Result {
 		total += totalBy[gi]
 	}
 	res.Headline = map[string]float64{
-		"frames_hidden_pct": float64(hidden) / float64(total) * 100,
+		"frames_hidden_pct": ratio(float64(hidden), float64(total)) * 100,
 		"table_bytes_510":   float64(libra.RankTableBytes(510)),
 	}
 	return res

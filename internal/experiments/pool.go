@@ -20,6 +20,21 @@ func DefaultJobs() int {
 	return runtime.NumCPU()
 }
 
+// DefaultSimWorkers returns the intra-frame worker count used when no
+// explicit -sim-workers value is given: the LIBRA_SIM_WORKERS environment
+// variable when it holds a positive integer, otherwise 1 (the serial
+// reference engine). Unlike DefaultJobs this does not default to NumCPU:
+// the experiment drivers already saturate the host across simulations, and
+// intra-frame workers multiply with -jobs.
+func DefaultSimWorkers() int {
+	if s := os.Getenv("LIBRA_SIM_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
 // Pool fans indexed jobs out to a bounded set of workers. Workers pull the
 // next index from a shared atomic counter, so load balances dynamically even
 // when per-job runtimes are heavily skewed (per-game simulation times vary by

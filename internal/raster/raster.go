@@ -59,6 +59,14 @@ const (
 // Renderer rasterizes tiles. The Z-Buffer and Color Buffer are the on-chip
 // tile-sized buffers of the TBR architecture; one Renderer is private to one
 // Raster Unit. A Renderer is not safe for concurrent use.
+//
+// Concurrency contract: RenderTile is a pure function of (scene, prims,
+// refs, tileID) plus the receiver's private buffers, which it fully resets
+// per tile — it never reads the FrameBuffer and writes only the pixels of
+// its own tile. Distinct Renderer instances may therefore render distinct
+// tiles of the same frame concurrently, sharing the scene, primitive slice
+// and FrameBuffer, and produce results identical to any serial order. The
+// parallel simulation mode (internal/sim, Config.Workers) depends on this.
 type Renderer struct {
 	grid   tiling.Grid
 	filter Filtering

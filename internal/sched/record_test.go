@@ -1,0 +1,29 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tiling"
+)
+
+func TestRecordLogsEveryGrant(t *testing.T) {
+	grid := tiling.NewGrid(64, 32) // 2x1 tiles
+	var log []Decision
+	s := Record(NewZOrderQueue(grid), &log)
+	if s.Name() != NewZOrderQueue(grid).Name() {
+		t.Error("Record must not change the scheduler's name")
+	}
+	got := []int{s.NextTile(0), s.NextTile(1), s.NextTile(0)}
+	want := []Decision{
+		{RU: 0, Tile: got[0]},
+		{RU: 1, Tile: got[1]},
+		{RU: 0, Tile: got[2]},
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %+v, want %+v", log, want)
+	}
+	if got[2] != -1 {
+		t.Fatalf("two-tile grid should exhaust after two grants, got %d", got[2])
+	}
+}

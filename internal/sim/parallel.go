@@ -1,0 +1,105 @@
+// Parallel intra-frame execution.
+//
+// The engine's frame time splits into two phases with very different
+// parallelization properties:
+//
+//   - The *functional* phase rasterizes tiles: edge walking, attribute
+//     interpolation, depth test, blending, texture-footprint generation.
+//     Its output, raster.TileWork, is a pure function of (Scene, Prims,
+//     Lists, tile id): the Renderer's on-chip Z/Color buffers are reset at
+//     every tile, Frame Buffer writes of distinct tiles touch disjoint
+//     pixels, and no other state is shared. It dominates frame wall-clock
+//     (~3/4 on the headline configuration).
+//   - The *timing* phase replays that work against the shared memory system
+//     (per-core L1s → shared L2 → timed DRAM) under the tile scheduler's
+//     decisions. Every quad batch mutates order-sensitive shared state, so
+//     this phase is the global-time synchronization domain: it runs on one
+//     goroutine, in the engine's reference event order, always.
+//
+// renderFarm shards the functional phase across Config.Workers goroutines:
+// workers pull tile indices from a shared atomic cursor (dynamic load
+// balance — hot tiles are an order of magnitude heavier than cold ones) and
+// write each result into its own tile-indexed slot. The farm's barrier
+// (WaitGroup rendezvous) is the single synchronization point between the
+// phases; the timing replay then consumes the pre-rendered work in exactly
+// the order the serial engine would have produced it inline. Determinism
+// therefore holds by construction, not by tuning: no timing-phase state is
+// ever touched concurrently, and the work slots are a deterministic merge
+// regardless of which worker rendered which tile.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/raster"
+	"repro/internal/tiling"
+)
+
+// renderFarm owns one private Renderer per worker. Renderers carry no
+// cross-tile state (buffers reset per tile), so any worker may render any
+// tile; private instances exist only to keep the scratch Z/Color buffers
+// race-free.
+type renderFarm struct {
+	renderers []*raster.Renderer
+}
+
+// newRenderFarm builds the worker-private renderers for cfg.Workers workers.
+func newRenderFarm(cfg Config, grid tiling.Grid) *renderFarm {
+	f := &renderFarm{}
+	for i := 0; i < cfg.Workers; i++ {
+		r := raster.NewRenderer(grid)
+		r.SetFiltering(cfg.Filtering)
+		f.renderers = append(f.renderers, r)
+	}
+	return f
+}
+
+// renderFrame rasterizes every tile of the frame on the farm and returns the
+// per-tile work indexed by tile id — the same array a trace replay would
+// supply via FrameInput.Works. It returns only after the rendezvous barrier:
+// all tiles rendered, all Frame Buffer pixels written, all slots published.
+// A panic on a worker is re-raised on the calling goroutine, matching the
+// serial path where rasterization panics surface to RunRaster's caller.
+func (f *renderFarm) renderFrame(in FrameInput) []raster.TileWork {
+	n := len(in.Lists.Lists)
+	works := make([]raster.TileWork, n)
+	workers := len(f.renderers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any // first worker panic, re-raised after the barrier
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(r *raster.Renderer) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				tile := int(cursor.Add(1)) - 1
+				if tile >= n {
+					return
+				}
+				works[tile] = r.RenderTile(in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
+			}
+		}(f.renderers[w])
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return works
+}

@@ -44,6 +44,15 @@ type Config struct {
 	// accesses spatially coherent in its private L1.
 	QuadBlock int
 
+	// Workers selects the intra-frame execution mode. 0 or 1 is the serial
+	// reference engine. Greater values shard the functional rasterization of
+	// the frame's tiles across that many host worker goroutines, which
+	// rendezvous at a barrier before the cycle-accurate timing replay runs
+	// (see parallel.go). Every externally visible result — cycle counts,
+	// cache and DRAM statistics, telemetry, frame pixels — is byte-identical
+	// to the serial engine for any Workers value.
+	Workers int
+
 	// Filtering is the texture sampling footprint of the texture units.
 	Filtering raster.Filtering
 
@@ -141,6 +150,11 @@ type Engine struct {
 	tileCache *cache.Cache
 	rus       []*rasterUnit
 
+	// farm, when non-nil, pre-renders tile work on a worker pool before the
+	// timing replay (Config.Workers > 1); nil selects the serial reference
+	// path in which each Raster Unit rasterizes its own tiles inline.
+	farm *renderFarm
+
 	// rec, when non-nil, receives per-tile spans for the observability
 	// layer. The nil check keeps the disabled hot path branch-only.
 	rec telemetry.Recorder
@@ -192,6 +206,9 @@ func NewEngine(cfg Config, grid tiling.Grid, hier *mem.Hierarchy) *Engine {
 			ru.texL1 = append(ru.texL1, cache.New(l1cfg))
 		}
 		e.rus = append(e.rus, ru)
+	}
+	if cfg.Workers > 1 {
+		e.farm = newRenderFarm(cfg, grid)
 	}
 	return e
 }
@@ -256,6 +273,15 @@ type FrameInput struct {
 // RunRaster simulates the raster phase of one frame and returns its timing
 // and activity. Rendering output lands in in.FB.
 func (e *Engine) RunRaster(in FrameInput) FrameOutput {
+	// Parallel intra-frame mode: rasterize every tile functionally on the
+	// render farm first (rendezvous barrier inside), then replay the frame
+	// through the unchanged serial timing loop below. TileWork is a pure
+	// function of (Scene, Prims, Lists, tile), so the replay consumes inputs
+	// identical to the serial path's inline rasterization and every counter
+	// stays byte-identical (see parallel.go).
+	if e.farm != nil && in.Works == nil && in.WorksByRU == nil {
+		in.Works = e.farm.renderFrame(in)
+	}
 	for _, ru := range e.rus {
 		ru.now = in.StartCycle
 		ru.done = false

@@ -1,0 +1,105 @@
+package libra_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	libra "repro"
+)
+
+// equivalenceConfig is the matrix configuration: the full LIBRA proposal so
+// the adaptive controller, temperature scheduler and supertile resizing are
+// all in the loop — the parts whose decisions would drift first if parallel
+// rasterization leaked any nondeterminism into the timing model.
+func equivalenceConfig(workers int) libra.Config {
+	cfg := libra.LIBRA(320, 192, 2)
+	cfg.SimWorkers = workers
+	return cfg
+}
+
+// renderMatrixFrames runs one benchmark under the matrix config and returns
+// the per-frame results plus the last frame's pixels.
+func renderMatrixFrames(t *testing.T, game string, workers, frames int) ([]libra.FrameResult, []uint32) {
+	t.Helper()
+	r, err := libra.NewRun(equivalenceConfig(workers), game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.RenderFrames(frames), r.FramePixels()
+}
+
+// frameLine formats a frame result the way cmd/librasim prints it, so the
+// comparison below covers the user-visible stdout byte for byte, not just the
+// struct fields.
+func frameLine(f libra.FrameResult) string {
+	return fmt.Sprintf("frame %2d: %9d cycles  %6.1f fps  order=%-11s st=%-2d texHit=%.3f texLat=%5.1f dram=%7d energy=%7.0fuJ",
+		f.Frame, f.TotalCycles, f.FPS, f.Order, f.Supertile, f.TexHitRatio, f.AvgTexLatency, f.DRAMAccesses, f.Energy.Total)
+}
+
+// TestSerialParallelEquivalenceMatrix renders every registered benchmark
+// under the serial reference engine and under 2- and 4-worker parallel
+// rasterization, and requires every externally visible result — each frame's
+// full FrameResult (cycles, hashes, cache and DRAM statistics, per-RU load,
+// per-tile heatmaps), the formatted stdout lines, the run summary and the
+// final frame pixels — to be identical. This is the contract stated on
+// Config.SimWorkers: the worker count is a host-side execution detail that
+// must never be observable in simulation results.
+func TestSerialParallelEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the whole suite three times")
+	}
+	const frames = 3
+	for _, b := range libra.Benchmarks() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			ref, refPix := renderMatrixFrames(t, b.Abbrev, 0, frames)
+			refSum := libra.Summarize(ref, 1).String()
+			for _, workers := range []int{2, 4} {
+				got, gotPix := renderMatrixFrames(t, b.Abbrev, workers, frames)
+				for i := range ref {
+					if !reflect.DeepEqual(ref[i], got[i]) {
+						t.Errorf("workers=%d frame %d diverges from serial reference:\nserial:   %s\nparallel: %s",
+							workers, i, frameLine(ref[i]), frameLine(got[i]))
+					}
+				}
+				if sum := libra.Summarize(got, 1).String(); sum != refSum {
+					t.Errorf("workers=%d summary diverges:\nserial:   %s\nparallel: %s", workers, refSum, sum)
+				}
+				if !reflect.DeepEqual(refPix, gotPix) {
+					t.Errorf("workers=%d final frame pixels diverge from serial reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenFrameHashesParallel is the parallel twin of
+// TestGoldenFrameHashes: 4-worker rasterization must reproduce the committed
+// golden hashes exactly, tying the parallel engine to the same long-lived
+// reference the serial renderer answers to.
+func TestGoldenFrameHashesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the whole suite")
+	}
+	for _, b := range libra.Benchmarks() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			want, ok := goldenFrameHashes[b.Abbrev]
+			if !ok {
+				t.Fatalf("%s: no golden hash recorded", b.Abbrev)
+			}
+			cfg := libra.Baseline(320, 192, 8)
+			cfg.SimWorkers = 4
+			r, err := libra.NewRun(cfg, b.Abbrev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.RenderFrames(2)[1].FrameHash; got != want {
+				t.Errorf("%s: 4-worker frame hash %#x, golden %#x", b.Abbrev, got, want)
+			}
+		})
+	}
+}
