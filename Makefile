@@ -6,13 +6,13 @@ PKGS := ./...
 # Packages the parallel experiment engine and the intra-frame render farm
 # exercise concurrently — the race detector's regression surface (telemetry:
 # one shared Trace fed by the pool; raster: disjoint-tile FrameBuffer writes).
-RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/telemetry ./internal/raster
+RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/telemetry ./internal/raster ./internal/resultstore
 # Statement-coverage floor: just under the measured baseline (76.0% with the
 # equivalence matrix, fuzz and metamorphic suites), enforced by the CI
 # coverage job.
 COVERAGE_MIN ?= 75.5
 
-.PHONY: build test race fmt vet lint bench bench-json cover determinism trace-smoke fuzz ci
+.PHONY: build test race fmt vet lint bench bench-json cover determinism trace-smoke store-smoke fuzz ci
 
 build:
 	$(GO) build $(PKGS)
@@ -72,10 +72,30 @@ trace-smoke:
 		-trace-out /tmp/libra-trace.json -metrics-out /tmp/libra-metrics.json > /dev/null
 	$(GO) run ./cmd/tracecheck -rus 2 /tmp/libra-trace.json /tmp/libra-metrics.json
 
+# Persistent result store, end to end: a cold suite run populates a fresh
+# store, then warm runs — including one with a different parallelism shape —
+# must print byte-identical tables while executing zero simulations (the
+# stderr store line proves it: sims=0).
+store-smoke:
+	$(GO) build -o /tmp/libra-suite ./cmd/suite
+	rm -rf /tmp/libra-store-smoke
+	/tmp/libra-suite -suite mem -frames 3 -warmup 1 -jobs 4 -quiet \
+		-result-dir /tmp/libra-store-smoke > /tmp/libra-store-cold.txt 2> /tmp/libra-store-cold.err
+	/tmp/libra-suite -suite mem -frames 3 -warmup 1 -jobs 4 -quiet \
+		-result-dir /tmp/libra-store-smoke > /tmp/libra-store-warm.txt 2> /tmp/libra-store-warm.err
+	/tmp/libra-suite -suite mem -frames 3 -warmup 1 -jobs 1 -sim-workers 4 -quiet \
+		-result-dir /tmp/libra-store-smoke > /tmp/libra-store-warm2.txt 2> /tmp/libra-store-warm2.err
+	diff -u /tmp/libra-store-cold.txt /tmp/libra-store-warm.txt
+	diff -u /tmp/libra-store-cold.txt /tmp/libra-store-warm2.txt
+	grep -q 'sims=0' /tmp/libra-store-warm.err
+	grep -q 'sims=0' /tmp/libra-store-warm2.err
+	$(GO) run ./cmd/resultstore -dir /tmp/libra-store-smoke verify
+
 # Short coverage-guided fuzzing bursts on top of the committed seed corpora
 # (which plain `go test` already replays on every run).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWorkloadGen -fuzztime 15s ./internal/workloads
 	$(GO) test -run '^$$' -fuzz FuzzSchedEquivalence -fuzztime 15s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzResultKey -fuzztime 15s ./internal/experiments
 
-ci: build vet fmt lint test race bench determinism trace-smoke fuzz cover
+ci: build vet fmt lint test race bench determinism trace-smoke store-smoke fuzz cover

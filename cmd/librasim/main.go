@@ -9,6 +9,7 @@
 //	librasim -experiment fig11              # reproduce one figure
 //	librasim -experiment all                # reproduce every figure/table
 //	librasim -experiment fig11 -paper       # full FHD/25-frame scale (slow)
+//	librasim -experiment all -result-dir ~/.libra  # persist/recall results
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	libra "repro"
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
 	"repro/internal/telemetry"
 )
 
@@ -40,6 +42,7 @@ func main() {
 		format     = flag.String("format", "table", "experiment output format: table | markdown | json")
 		jobs       = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations for experiments (<=0 = NumCPU, or $LIBRA_JOBS)")
 		simWorkers = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); results are byte-identical for any value")
+		resultDir  = flag.String("result-dir", experiments.DefaultResultDir(), "persistent result store directory for -experiment runs (or $LIBRA_RESULT_DIR; empty = store disabled)")
 		heat       = flag.Bool("heatmap", false, "print the per-tile DRAM heatmap of the last frame (single run)")
 		screenshot = flag.String("screenshot", "", "write the last rendered frame as a PPM image to this path (single run)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) to this path; for -experiment, traces the first simulation")
@@ -51,7 +54,7 @@ func main() {
 	case *list:
 		printSuite()
 	case *experiment != "":
-		runExperiments(*experiment, *paper, *format, *jobs, *simWorkers, *traceOut, *metricsOut)
+		runExperiments(*experiment, *paper, *format, *jobs, *simWorkers, *resultDir, *traceOut, *metricsOut)
 	case *game != "":
 		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *simWorkers, *heat, *screenshot, *traceOut, *metricsOut)
 	default:
@@ -143,7 +146,7 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb, simWorkers i
 	}
 }
 
-func runExperiments(id string, paper bool, format string, jobs, simWorkers int, traceOut, metricsOut string) {
+func runExperiments(id string, paper bool, format string, jobs, simWorkers int, resultDir, traceOut, metricsOut string) {
 	p := experiments.DefaultParams()
 	if paper {
 		p = experiments.PaperParams()
@@ -151,6 +154,22 @@ func runExperiments(id string, paper bool, format string, jobs, simWorkers int, 
 	p.SimWorkers = simWorkers
 	r := experiments.NewRunner(p)
 	r.SetJobs(jobs)
+	if resultDir != "" {
+		st, err := resultstore.Open(resultDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.SetStore(st)
+		defer func() {
+			c := st.Metrics()
+			fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d corrupt=%d sims=%d\n",
+				c.Counter(resultstore.MetricHit).Value(),
+				c.Counter(resultstore.MetricMiss).Value(),
+				c.Counter(resultstore.MetricCorrupt).Value(),
+				r.Sims())
+		}()
+	}
 	// With -trace-out/-metrics-out, capture the first simulation the
 	// experiment executes (one frame sequence keeps the trace readable).
 	var tr *telemetry.Trace

@@ -6,11 +6,16 @@
 // results are collected into (game, config)-indexed slots so stdout is
 // byte-identical for any -jobs value, and progress/ETA goes to stderr.
 //
+// With -result-dir (or LIBRA_RESULT_DIR) the suite reads and writes a
+// persistent, content-addressed result store: a warm re-run performs zero
+// simulations and prints byte-identical output.
+//
 // Usage:
 //
 //	suite                          # baseline vs PTR vs LIBRA, all games
 //	suite -suite mem -frames 12    # memory-intensive games only
 //	suite -jobs 8                  # cap the worker pool
+//	suite -result-dir ~/.libra     # persist results across runs
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	libra "repro"
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +41,8 @@ func main() {
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
 		simWork = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); stdout is byte-identical for any value")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
+
+		resultDir = flag.String("result-dir", experiments.DefaultResultDir(), "persistent result store directory (or $LIBRA_RESULT_DIR; empty = store disabled)")
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) of one traced run to this path")
 		metricsOut = flag.String("metrics-out", "", "write the traced run's metrics registry as JSON to this path")
@@ -70,6 +78,53 @@ func main() {
 		{"libra", withL2(libra.LIBRA(*screenW, *screenH, 2))},
 	}
 
+	// The runner supplies the in-memory singleflight cache and, when
+	// -result-dir is set, the persistent layer under it.
+	runner := experiments.NewRunner(experiments.Params{
+		ScreenW: *screenW, ScreenH: *screenH,
+		Frames: *frames, Warmup: *warmup,
+		L2KB: *l2kb, SimWorkers: *simWork,
+	})
+	if *resultDir != "" {
+		st, err := resultstore.Open(*resultDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner.SetStore(st)
+	}
+
+	// One (game, config) pair may carry the telemetry recorder; its trace
+	// is written after the pool drains. Store hits are not re-simulated and
+	// record nothing — trace against a cold key (or no -result-dir).
+	var tr *telemetry.Trace
+	if *traceOut != "" || *metricsOut != "" {
+		tg := *traceGame
+		if tg == "" && len(games) > 0 {
+			tg = games[0].Abbrev
+		}
+		var traced *libra.Config
+		for _, g := range games {
+			for ci, c := range configs {
+				if g.Abbrev == tg && c.name == *traceCfg {
+					traced = &configs[ci].cfg
+				}
+			}
+		}
+		if traced == nil {
+			fmt.Fprintf(os.Stderr, "no run matches -trace-game %q -trace-config %q in this suite\n", tg, *traceCfg)
+			os.Exit(1)
+		}
+		tr = telemetry.NewTrace(telemetry.TraceConfig{})
+		tracedCfg := *traced
+		runner.SetTelemetry(func(cfg libra.Config, game string) telemetry.Recorder {
+			if game == tg && cfg == tracedCfg {
+				return tr
+			}
+			return nil
+		})
+	}
+
 	// Fan all (game, config) simulations out to the pool; each job writes
 	// only its own slot so the table below is independent of scheduling.
 	summaries := make([][]libra.Summary, len(games))
@@ -82,41 +137,15 @@ func main() {
 	if !*quiet {
 		progw = experiments.NewProgress(os.Stderr, "suite", len(games)*len(configs))
 	}
-	// One (game, config) job may carry the telemetry recorder; its trace is
-	// written after the pool drains.
-	var tr *telemetry.Trace
-	traceTarget := -1
-	if *traceOut != "" || *metricsOut != "" {
-		tg := *traceGame
-		if tg == "" && len(games) > 0 {
-			tg = games[0].Abbrev
-		}
-		for gi, g := range games {
-			for ci, c := range configs {
-				if g.Abbrev == tg && c.name == *traceCfg {
-					traceTarget = gi*len(configs) + ci
-				}
-			}
-		}
-		if traceTarget < 0 {
-			fmt.Fprintf(os.Stderr, "no run matches -trace-game %q -trace-config %q in this suite\n", tg, *traceCfg)
-			os.Exit(1)
-		}
-		tr = telemetry.NewTrace(telemetry.TraceConfig{})
-	}
 	pool := experiments.NewPool(*jobs)
 	pool.ForEach(len(games)*len(configs), func(j int) {
 		gi, ci := j/len(configs), j%len(configs)
-		run, err := libra.NewRun(configs[ci].cfg, games[gi].Abbrev)
+		run, err := runner.TryRun(configs[ci].cfg, games[gi].Abbrev)
 		if err != nil {
 			errs[gi][ci] = err
-			progw.Done()
-			return
+		} else {
+			summaries[gi][ci] = run.Summary
 		}
-		if j == traceTarget {
-			run.SetRecorder(tr)
-		}
-		summaries[gi][ci] = libra.Summarize(run.RenderFrames(*frames), *warmup)
 		progw.Done()
 	})
 	progw.Finish()
@@ -127,6 +156,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if st := runner.Store(); st != nil {
+		// One stderr line so scripts (and make store-smoke) can assert a
+		// warm run performed zero simulations; stdout stays byte-identical.
+		c := st.Metrics()
+		fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d corrupt=%d sims=%d\n",
+			c.Counter(resultstore.MetricHit).Value(),
+			c.Counter(resultstore.MetricMiss).Value(),
+			c.Counter(resultstore.MetricCorrupt).Value(),
+			runner.Sims())
 	}
 
 	fmt.Printf("%-5s %-5s", "bench", "class")

@@ -4,7 +4,9 @@
 //
 // Sweep points are simulated concurrently on a bounded worker pool (-jobs);
 // output is collected per point index, so stdout is byte-identical for any
-// -jobs value.
+// -jobs value. With -result-dir (or LIBRA_RESULT_DIR) points are recalled
+// from the persistent result store, so an interrupted sweep resumes from
+// the points it already simulated instead of restarting.
 //
 // Usage:
 //
@@ -22,6 +24,7 @@ import (
 
 	libra "repro"
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
 		simWork = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); stdout is byte-identical for any value")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
+
+		resultDir = flag.String("result-dir", experiments.DefaultResultDir(), "persistent result store directory (or $LIBRA_RESULT_DIR; empty = store disabled)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,23 @@ func main() {
 			os.Exit(1)
 		}
 		points = append(points, v)
+	}
+
+	// The runner supplies the in-memory singleflight cache and, when
+	// -result-dir is set, the persistent layer that lets an interrupted
+	// sweep resume from its completed points.
+	runner := experiments.NewRunner(experiments.Params{
+		ScreenW: *screenW, ScreenH: *screenH,
+		Frames: *frames, Warmup: 2,
+		SimWorkers: *simWork,
+	})
+	if *resultDir != "" {
+		st, err := resultstore.Open(*resultDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner.SetStore(st)
 	}
 
 	// Fan the sweep points out to the pool; each point writes only its own
@@ -91,13 +113,13 @@ func main() {
 		case "l2kb":
 			cfg.L2KB = v
 		}
-		run, err := libra.NewRun(cfg, *game)
+		run, err := runner.TryRun(cfg, *game)
 		if err != nil {
 			errs[i] = err
 			progw.Done()
 			return
 		}
-		summaries[i] = libra.Summarize(run.RenderFrames(*frames), 2)
+		summaries[i] = run.Summary
 		progw.Done()
 	})
 	progw.Finish()
@@ -106,6 +128,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if st := runner.Store(); st != nil {
+		c := st.Metrics()
+		fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d corrupt=%d sims=%d\n",
+			c.Counter(resultstore.MetricHit).Value(),
+			c.Counter(resultstore.MetricMiss).Value(),
+			c.Counter(resultstore.MetricCorrupt).Value(),
+			runner.Sims())
 	}
 
 	fmt.Printf("%s sweep on %s (%s policy, %dx%d)\n", *axis, *game, *policy, *screenW, *screenH)

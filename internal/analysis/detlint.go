@@ -23,6 +23,7 @@ var DeterministicPackages = []string{
 	"internal/stats",
 	"internal/energy",
 	"internal/experiments",
+	"internal/resultstore",
 }
 
 // Detlint flags non-determinism sources in deterministic packages:

@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	libra "repro"
+	"repro/internal/resultstore"
 	"repro/internal/telemetry"
 )
 
@@ -70,19 +72,36 @@ type Runner struct {
 	sims     atomic.Int64 // simulations actually executed (cache misses)
 	progress *Progress    // optional per-simulation observer
 
+	// store, when non-nil, is the persistent result layer under the
+	// in-memory cache; fingerprint is the code identity mixed into every
+	// store key (see SetStore).
+	store       *resultstore.Store
+	fingerprint string
+
 	// telemetry, when non-nil, is consulted for every executed simulation;
 	// a non-nil Recorder it returns is attached to the run before frames
 	// render, so any registered experiment can be traced.
 	telemetry func(cfg libra.Config, game string) telemetry.Recorder
+
+	// simulate substitutes the real simulation in tests of the flight
+	// protocol (nil = libra.NewRun + RenderFrames).
+	simulate func(cfg libra.Config, game string) (*GameRun, error)
 }
 
-// flight is one cache slot: the leader closes done once run (or panicked) is
-// set; followers block on done instead of re-simulating the key.
+// flight is one cache slot: the leader closes done once run or err is set;
+// followers block on done instead of re-simulating the key.
 type flight struct {
-	done     chan struct{}
-	run      *GameRun
-	panicked any
+	done chan struct{}
+	run  *GameRun
+	err  error
 }
+
+// ErrLeaderFailed marks the error a follower receives when the leader it
+// raced onto failed (simulation error or panic). The failed flight is
+// dropped from the cache before followers are released, so a later call on
+// the same key elects a fresh leader and retries — followers that want the
+// retry themselves can match this sentinel with errors.Is and call again.
+var ErrLeaderFailed = errors.New("experiments: leader simulation failed")
 
 // NewRunner builds a runner at the given scale with the default fan-out
 // width (see DefaultJobs).
@@ -117,39 +136,108 @@ func (r *Runner) SetTelemetry(f func(cfg libra.Config, game string) telemetry.Re
 }
 
 // Run simulates (or recalls) the given benchmark under cfg. Concurrent calls
-// with the same key execute the simulation exactly once.
+// with the same key execute the simulation exactly once. Run panics on
+// failure (unknown game, invalid config) — the figure and table drivers only
+// run vetted suite configurations; fallible callers use TryRun.
 func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
+	run, err := r.TryRun(cfg, game)
+	if err != nil {
+		panic(err.Error())
+	}
+	return run
+}
+
+// TryRun simulates (or recalls) the given benchmark under cfg. Concurrent
+// calls with the same key execute the simulation exactly once: one caller
+// leads, the rest follow and share its result.
+//
+// Error contract: the leader receives the underlying error; every follower
+// of a failed leader receives an error matching ErrLeaderFailed (wrapping
+// the leader's). Failed flights are never cached — in memory or on disk —
+// so the next call on the key retries from scratch.
+func (r *Runner) TryRun(cfg libra.Config, game string) (*GameRun, error) {
 	key := fmt.Sprintf("%s|%+v", game, cfg)
 	r.mu.Lock()
 	if f, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		<-f.done // follower: wait for the leader's result
-		if f.panicked != nil {
-			panic(f.panicked)
+		if f.err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrLeaderFailed, f.err)
 		}
-		return f.run
+		return f.run, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	r.cache[key] = f
 	r.mu.Unlock()
 
-	// Leader: simulate, publish, release the followers. A panic (unknown
-	// game, invalid config) is forwarded to every waiter and the slot is
-	// dropped so later calls don't cache the failure.
+	// Leader: simulate (consulting the persistent store first, if one is
+	// attached), publish, release the followers. Failures — including
+	// panics, which lead converts to errors — drop the slot before done is
+	// closed, so no later call can join or cache a failed flight.
+	f.run, f.err = r.lead(cfg, game)
+	if f.err != nil {
+		r.mu.Lock()
+		delete(r.cache, key)
+		r.mu.Unlock()
+	}
+	close(f.done)
+	return f.run, f.err
+}
+
+// lead executes a flight's simulation, layering the persistent store (when
+// attached) under the in-memory cache. A panic in the simulator is converted
+// to an error so the flight protocol has a single failure path.
+func (r *Runner) lead(cfg libra.Config, game string) (gr *GameRun, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			f.panicked = p
-			r.mu.Lock()
-			delete(r.cache, key)
-			r.mu.Unlock()
-			close(f.done)
-			panic(p)
+			gr, err = nil, fmt.Errorf("experiments: simulation panicked: %v", p)
 		}
-		close(f.done)
 	}()
+	var storeKey string
+	if r.store != nil {
+		if spec, kerr := r.KeySpec(cfg, game); kerr == nil {
+			storeKey = spec.Key()
+			if gr := r.storeGet(storeKey, game); gr != nil {
+				r.progress.Done()
+				return gr, nil
+			}
+			// Writer lock: exactly one process simulates this key. When the
+			// lock is granted after a wait, the previous holder usually
+			// published the result — re-check before simulating. A lock
+			// failure degrades to an unshared simulation.
+			if release, lerr := r.store.Lock(storeKey); lerr == nil {
+				defer release()
+				if gr := r.storeGet(storeKey, game); gr != nil {
+					r.progress.Done()
+					return gr, nil
+				}
+			} else {
+				storeKey = "" // no lock → simulate, but don't publish
+			}
+		}
+	}
+	gr, err = r.execute(cfg, game)
+	if err != nil {
+		return nil, err
+	}
+	if r.store != nil && storeKey != "" {
+		// Publish for future processes. A write failure only costs future
+		// warm hits; it must never fail the run (counted by the store).
+		label := fmt.Sprintf("%s %s %dx%d frames=%d", game, cfg.Policy,
+			cfg.ScreenW, cfg.ScreenH, r.P.Frames)
+		_ = r.store.Put(storeKey, label, gr.Frames)
+	}
+	return gr, nil
+}
+
+// execute performs the actual simulation (or the test stub).
+func (r *Runner) execute(cfg libra.Config, game string) (*GameRun, error) {
+	if r.simulate != nil {
+		return r.simulate(cfg, game)
+	}
 	run, err := libra.NewRun(cfg, game)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	if r.telemetry != nil {
 		if rec := r.telemetry(cfg, game); rec != nil {
@@ -157,10 +245,9 @@ func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
 		}
 	}
 	frames := run.RenderFrames(r.P.Frames)
-	f.run = &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}
 	r.sims.Add(1)
 	r.progress.Done()
-	return f.run
+	return &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}, nil
 }
 
 // perGame computes one Row per game on the runner's pool. Each worker writes

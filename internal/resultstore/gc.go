@@ -1,0 +1,39 @@
+package resultstore
+
+import (
+	"os"
+	"time"
+)
+
+// This file is the store's only wall-clock consumer, and the one libralint
+// allowlist entry for internal/resultstore: age-based garbage collection is
+// inherently a wall-clock policy (entry mtimes vs. now). Nothing here feeds
+// simulation results — GC can only delete entries, and a deleted entry is
+// indistinguishable from a cache miss — so determinism of every figure and
+// table is untouched.
+
+// GCResult summarizes one GC pass.
+type GCResult struct {
+	Entries int // entries removed (older than the cutoff)
+	Temps   int // orphaned temp files removed
+	Locks   int // stale lock files removed
+}
+
+// GC removes entries whose mtime is older than olderThan, plus temp files
+// and locks orphaned by dead processes. olderThan <= 0 only sweeps orphans.
+// Removing a live key is always safe: the next Get misses and re-simulates.
+func (s *Store) GC(olderThan time.Duration) (GCResult, error) {
+	var res GCResult
+	res.Temps = s.sweepTmp()
+	res.Locks = s.sweepLocks()
+	if olderThan <= 0 {
+		return res, nil
+	}
+	cutoff := time.Now().Add(-olderThan)
+	err := s.walkObjects(func(path string, size int64, mod time.Time) {
+		if mod.Before(cutoff) && os.Remove(path) == nil {
+			res.Entries++
+		}
+	})
+	return res, err
+}

@@ -1,0 +1,106 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// Lock protocol: the writer of a key holds <dir>/locks/<key>.lock. The lock
+// is acquired by writing a private file containing the holder's pid and
+// hard-linking it to the lock name — link(2) is atomic and fails if the name
+// exists, and unlike create-then-write it never exposes a half-written lock.
+// A process that loses the link race checks the holder:
+//
+//   - holder alive → wait; it is computing the result we want. When the
+//     lock disappears we re-check the store before computing ourselves.
+//   - holder dead  → the lock is a crash leftover; remove it and retry the
+//     link (stale-lock takeover, counted in MetricTakeover).
+//
+// Locks serialize *writers* only — Get never takes a lock; published entries
+// are immutable and reads are made safe by the atomic-rename publish. If two
+// processes ever do race through a takeover onto the same key (two takers
+// removing the same stale lock at once), the worst case is a duplicate
+// computation of a deterministic entry published by atomic rename — wasted
+// work, never corruption.
+
+// lockInfo is the JSON body of a lock file.
+type lockInfo struct {
+	PID int `json:"pid"`
+}
+
+// lockPollInterval paces the wait on a live holder. The wait is bounded by
+// the holder's simulation, not by wall-clock policy, so it is a plain
+// sleep, not a timeout.
+const lockPollInterval = 10 * time.Millisecond
+
+// Lock acquires the per-key writer lock, blocking while a live holder
+// computes. It returns an idempotent release function. An error means the
+// lock directory itself is unusable; callers should degrade to computing
+// without the store rather than failing.
+func (s *Store) Lock(key string) (release func(), err error) {
+	path := filepath.Join(s.dir, "locks", key+".lock")
+	body, err := json.Marshal(lockInfo{PID: os.Getpid()})
+	if err != nil {
+		return nil, err
+	}
+	self := filepath.Join(s.dir, "locks",
+		fmt.Sprintf("%s.%d.%d.self", key, os.Getpid(), tmpSeq.Add(1)))
+	if err := os.WriteFile(self, body, 0o644); err != nil {
+		return nil, fmt.Errorf("resultstore: lock %s: %w", key, err)
+	}
+	defer os.Remove(self)
+	for {
+		err := os.Link(self, path)
+		if err == nil {
+			released := false
+			return func() {
+				if !released {
+					released = true
+					os.Remove(path)
+				}
+			}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("resultstore: lock %s: %w", key, err)
+		}
+		if s.holderDead(path) {
+			os.Remove(path)
+			s.inc(MetricTakeover)
+			continue
+		}
+		time.Sleep(lockPollInterval)
+	}
+}
+
+// holderDead reports whether the lock at path belongs to a process that no
+// longer exists. Locks are published complete (write + link), so an empty or
+// undecodable lock cannot belong to a live cooperating writer and counts as
+// dead.
+func (s *Store) holderDead(path string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		// Racing release: the lock vanished; let the link retry decide.
+		return errors.Is(err, os.ErrNotExist)
+	}
+	var info lockInfo
+	if err := json.Unmarshal(raw, &info); err != nil || info.PID <= 0 {
+		return true
+	}
+	return !pidAlive(info.PID)
+}
+
+// pidAlive probes a pid with signal 0. EPERM means the process exists but
+// belongs to someone else — alive for our purposes.
+func pidAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,188 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EntryInfo describes one stored entry for maintenance listings.
+type EntryInfo struct {
+	Key     string
+	Label   string
+	Size    int64
+	ModTime time.Time
+	Corrupt bool
+}
+
+// walkObjects visits every entry file under objects/ in a deterministic
+// (lexicographic, hence key-sorted) order.
+func (s *Store) walkObjects(visit func(path string, size int64, mod time.Time)) error {
+	root := filepath.Join(s.dir, "objects")
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		if err != nil {
+			continue // shard removed concurrently
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".res") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue // entry removed concurrently
+			}
+			visit(filepath.Join(root, shard.Name(), f.Name()), info.Size(), info.ModTime())
+		}
+	}
+	return nil
+}
+
+// List reads every entry (key-sorted) without modifying the store; entries
+// that fail validation are reported with Corrupt=true but left in place —
+// quarantining is Verify's job.
+func (s *Store) List() ([]EntryInfo, error) {
+	var out []EntryInfo
+	err := s.walkObjects(func(path string, size int64, mod time.Time) {
+		key := strings.TrimSuffix(filepath.Base(path), ".res")
+		e := EntryInfo{Key: key, Size: size, ModTime: mod}
+		if env, err := readEntry(path, key); err != nil {
+			e.Corrupt = true
+		} else {
+			e.Label = env.Label
+		}
+		out = append(out, e)
+	})
+	return out, err
+}
+
+// VerifyResult summarizes a Verify pass.
+type VerifyResult struct {
+	OK          int
+	Quarantined int
+}
+
+// Verify re-validates every entry's framing, checksum and key identity,
+// quarantining any entry that fails (each counted in MetricCorrupt).
+func (s *Store) Verify() (VerifyResult, error) {
+	var res VerifyResult
+	err := s.walkObjects(func(path string, size int64, mod time.Time) {
+		key := strings.TrimSuffix(filepath.Base(path), ".res")
+		if _, err := readEntry(path, key); err != nil {
+			s.quarantine(path)
+			s.inc(MetricCorrupt)
+			res.Quarantined++
+			return
+		}
+		res.OK++
+	})
+	return res, err
+}
+
+// Stats summarizes the store's disk footprint.
+type Stats struct {
+	Entries     int
+	Bytes       int64
+	Quarantined int
+	TempFiles   int
+	Locks       int
+}
+
+// Stats counts entries, quarantined files, leftover temp files and live
+// lock files.
+func (s *Store) Stats() (Stats, error) {
+	var st Stats
+	err := s.walkObjects(func(path string, size int64, mod time.Time) {
+		st.Entries++
+		st.Bytes += size
+	})
+	if err != nil {
+		return st, err
+	}
+	st.Quarantined = countFiles(filepath.Join(s.dir, "quarantine"))
+	st.TempFiles = countFiles(filepath.Join(s.dir, "tmp"))
+	st.Locks = countFiles(filepath.Join(s.dir, "locks"))
+	return st, nil
+}
+
+func countFiles(dir string) int {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, f := range files {
+		if !f.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// sweepTmp removes temp files orphaned by crashed writers: a temp file is
+// named <key>.<pid>.<seq>.tmp, and is safe to delete exactly when its
+// writing pid no longer exists (a live writer deletes its own temp on every
+// exit path).
+func (s *Store) sweepTmp() int {
+	dir := filepath.Join(s.dir, "tmp")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		if pid, ok := tmpPID(f.Name()); ok && pidAlive(pid) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, f.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// tmpPID extracts the writer pid from a <key>.<pid>.<seq>.tmp name.
+func tmpPID(name string) (int, bool) {
+	parts := strings.Split(strings.TrimSuffix(name, ".tmp"), ".")
+	if len(parts) < 3 {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return 0, false
+	}
+	return pid, true
+}
+
+// sweepLocks removes lock files whose holders died (same takeover rule as
+// Lock, applied store-wide).
+func (s *Store) sweepLocks() int {
+	dir := filepath.Join(s.dir, "locks")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, f := range files {
+		if f.IsDir() || !strings.HasSuffix(f.Name(), ".lock") {
+			continue
+		}
+		path := filepath.Join(dir, f.Name())
+		if s.holderDead(path) && os.Remove(path) == nil {
+			removed++
+		}
+	}
+	return removed
+}
