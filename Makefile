@@ -12,13 +12,13 @@ RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/
 # coverage job.
 COVERAGE_MIN ?= 75.5
 
-.PHONY: build test race fmt vet lint bench bench-json cover determinism trace-smoke store-smoke fuzz ci
+.PHONY: build test race fmt vet lint bench bench-json bench-gate bench-gate-update cover determinism trace-smoke store-smoke fuzz ci
 
 build:
 	$(GO) build $(PKGS)
 
 test:
-	$(GO) test $(PKGS)
+	$(GO) test -shuffle=on $(PKGS)
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -45,6 +45,18 @@ bench:
 bench-json:
 	$(GO) test -bench 'Frame' -benchmem -count 5 -run '^$$' -timeout 0 . | tee /tmp/libra-bench.txt
 	$(GO) run ./cmd/benchjson -o BENCH_ci.json < /tmp/libra-bench.txt
+
+# Allocation/perf regression gate against the committed BENCH_ci.json:
+# allocs/op is a hard failure above a small tolerance (deterministic and
+# machine-independent), ns/op and B/op only warn (runner noise). Refresh the
+# baseline with `make bench-gate-update` after an intentional change.
+bench-gate:
+	$(GO) test -bench 'Frame' -benchmem -count 5 -run '^$$' -timeout 0 . | tee /tmp/libra-bench.txt
+	$(GO) run ./cmd/benchjson -check -baseline BENCH_ci.json < /tmp/libra-bench.txt
+
+bench-gate-update:
+	$(GO) test -bench 'Frame' -benchmem -count 5 -run '^$$' -timeout 0 . | tee /tmp/libra-bench.txt
+	$(GO) run ./cmd/benchjson -check -update -baseline BENCH_ci.json < /tmp/libra-bench.txt
 
 # Statement coverage with the same floor the CI coverage job enforces.
 cover:
@@ -98,4 +110,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSchedEquivalence -fuzztime 15s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzResultKey -fuzztime 15s ./internal/experiments
 
-ci: build vet fmt lint test race bench determinism trace-smoke store-smoke fuzz cover
+ci: build vet fmt lint test race bench bench-gate determinism trace-smoke store-smoke fuzz cover

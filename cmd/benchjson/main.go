@@ -5,10 +5,17 @@
 // Usage:
 //
 //	go test -bench . -benchmem -count 5 -run '^$' ./... | benchjson -o BENCH_ci.json
+//	go test -bench . -benchmem -count 5 -run '^$' ./... | benchjson -check -baseline BENCH_ci.json
+//	go test -bench . -benchmem -count 5 -run '^$' ./... | benchjson -check -update -baseline BENCH_ci.json
 //
 // Each benchmark line becomes one entry (repeated -count runs stay separate
 // entries — downstream tooling aggregates); goos/goarch/cpu headers and the
 // commit SHA ($GITHUB_SHA, or -sha) annotate the file.
+//
+// -check compares the run against a committed baseline and exits non-zero on
+// regression: allocs/op is a hard gate (deterministic, machine-independent),
+// ns/op and B/op are soft thresholds that warn without failing (CI runners
+// are noisy). -update rewrites the baseline from the current run instead.
 package main
 
 import (
@@ -49,8 +56,11 @@ type Record struct {
 
 func main() {
 	var (
-		out = flag.String("o", "BENCH_ci.json", "output path (- for stdout)")
-		sha = flag.String("sha", "", "commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
+		out      = flag.String("o", "BENCH_ci.json", "output path (- for stdout)")
+		sha      = flag.String("sha", "", "commit SHA to record (default: $GITHUB_SHA, then git rev-parse HEAD)")
+		check    = flag.Bool("check", false, "compare stdin against -baseline instead of writing -o")
+		baseline = flag.String("baseline", "BENCH_ci.json", "baseline file for -check")
+		update   = flag.Bool("update", false, "with -check: rewrite -baseline from this run instead of comparing")
 	)
 	flag.Parse()
 
@@ -59,25 +69,72 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
 	rec.SHA = resolveSHA(*sha)
 	rec.Date = time.Now().UTC().Format(time.RFC3339)
 	rec.GoVersion = runtime.Version()
 
+	switch {
+	case *check && *update:
+		writeRecord(*baseline, rec)
+	case *check:
+		base, err := loadRecord(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: loading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		failures, warnings := Compare(base, rec)
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "warn: %s\n", w)
+		}
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL: %s\n", f)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) against %s (baseline sha %s)\n",
+				len(failures), *baseline, base.SHA)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within baseline %s (%d warnings)\n",
+			len(rec.Benchmarks), *baseline, len(warnings))
+	default:
+		writeRecord(*out, rec)
+	}
+}
+
+// writeRecord marshals rec to path ("-" for stdout).
+func writeRecord(path string, rec *Record) {
 	raw, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	raw = append(raw, '\n')
-	if *out == "-" {
+	if path == "-" {
 		os.Stdout.Write(raw)
 		return
 	}
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rec.Benchmarks))
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(rec.Benchmarks))
+}
+
+// loadRecord reads a BENCH_ci.json document.
+func loadRecord(path string) (*Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
 }
 
 func resolveSHA(flagSHA string) string {

@@ -29,7 +29,7 @@ func BenchmarkFrame(b *testing.B) {
 // byte-identical results; only wall-clock time may differ, and it only
 // improves when the host grants the process multiple CPUs.
 func BenchmarkFrameWorkers(b *testing.B) {
-	for _, workers := range []int{1, 2, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := libra.LIBRA(640, 384, 2)
 			cfg.SimWorkers = workers

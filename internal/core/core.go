@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/energy"
 	"repro/internal/gpipe"
@@ -213,6 +214,12 @@ type GPU struct {
 	traceSink func(raster.TileWork)
 	rec       telemetry.Recorder
 
+	// binner and replLines are per-frame scratch reused across frames (the
+	// Polygon List Builder's tile lists and the replication metric's
+	// line-address collection buffer).
+	binner    tiling.Binner
+	replLines []uint64
+
 	clock    int64
 	frameIdx int
 }
@@ -284,13 +291,16 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 	res.GeometryCycles = gst.Cycles
 
 	// ——— Tiling Engine: Polygon List Builder ———
-	lists := tiling.Bin(g.grid, prims)
+	lists := g.binner.Bin(g.grid, prims)
 	res.PBBytes = lists.PBBytes
 	// PB writes flow through the Tile cache as binning progresses, spread
-	// across the geometry phase.
-	if addrs := lists.WriteAddrs(); len(addrs) > 0 {
-		for i, addr := range addrs {
-			t := start + gst.Cycles*int64(i)/int64(len(addrs))
+	// across the geometry phase. The written lines are sequential from
+	// ParamBase (see TileLists.WriteAddrs), so they are iterated directly
+	// rather than materialized.
+	if n := int64((lists.PBBytes + 63) / 64); n > 0 {
+		for i := int64(0); i < n; i++ {
+			addr := mem.ParamBase + uint64(i*64)
+			t := start + gst.Cycles*i/n
 			g.hier.AccessThroughL1(g.eng.TileCache(), t, addr, true)
 		}
 	}
@@ -427,25 +437,29 @@ func (g *GPU) capSupertile(size int) int {
 }
 
 // textureReplication returns the fraction of texture lines resident in more
-// than one texture L1 (the block-replication metric of §V-A.3).
+// than one texture L1 (the block-replication metric of §V-A.3). The resident
+// lines of all L1s are gathered into a reused scratch slice and sorted;
+// replicated lines appear as runs longer than one — no per-frame map.
 func (g *GPU) textureReplication() float64 {
-	caches := g.eng.TextureCaches()
-	lineCount := map[uint64]int{}
-	total := 0
-	for _, c := range caches {
-		for _, line := range c.Lines() {
-			lineCount[line]++
-			total++
-		}
+	lines := g.replLines[:0]
+	for _, c := range g.eng.TextureCaches() {
+		lines = c.AppendLines(lines)
 	}
-	if total == 0 {
+	g.replLines = lines
+	if len(lines) == 0 {
 		return 0
 	}
+	slices.Sort(lines)
 	replicated := 0
-	for _, n := range lineCount {
-		if n > 1 {
-			replicated += n
+	for i := 0; i < len(lines); {
+		j := i + 1
+		for j < len(lines) && lines[j] == lines[i] {
+			j++
 		}
+		if j-i > 1 {
+			replicated += j - i
+		}
+		i = j
 	}
-	return float64(replicated) / float64(total)
+	return float64(replicated) / float64(len(lines))
 }

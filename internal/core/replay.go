@@ -21,7 +21,9 @@ func (g *GPU) CaptureTrace(sc *scene.Scene) (FrameResult, *trace.FrameTrace) {
 		ScreenH: g.cfg.ScreenH,
 		Tiles:   make([]raster.TileWork, g.grid.NumTiles()),
 	}
-	g.traceSink = func(tw raster.TileWork) { ft.Tiles[tw.TileID] = tw }
+	// The hook's TileWork aliases the engine's reusable scratch buffers;
+	// Clone captures a stable deep copy for the trace.
+	g.traceSink = func(tw raster.TileWork) { ft.Tiles[tw.TileID] = tw.Clone() }
 	defer func() { g.traceSink = nil }()
 	res := g.RenderFrame(sc)
 	return res, ft

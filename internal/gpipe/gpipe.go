@@ -89,6 +89,13 @@ type Pipeline struct {
 	cfg    Config
 	vcache *cache.Cache
 	hier   *mem.Hierarchy
+
+	// Per-frame scratch reused across Run calls: the output primitive list
+	// and the shading/clipping work buffers. The slice returned by Run
+	// aliases prims and is valid until the next Run.
+	prims   []Primitive
+	shaded  []geom.Vertex
+	clipBuf []geom.Vertex
 }
 
 // New builds a geometry pipeline using the given Vertex cache configuration
@@ -102,17 +109,19 @@ func (p *Pipeline) VertexCache() *cache.Cache { return p.vcache }
 
 // Run processes a whole scene and returns the primitives in program order
 // plus the frame's geometry statistics. startCycle anchors the pipeline's
-// memory traffic in global time.
+// memory traffic in global time. The returned slice is backed by
+// pipeline-owned scratch and is valid until the next Run on this pipeline;
+// callers that retain primitives across frames must copy them.
 func (p *Pipeline) Run(s *scene.Scene, screenW, screenH int, startCycle int64) ([]Primitive, Stats) {
 	var st Stats
-	var prims []Primitive
+	prims := p.prims[:0]
 	vp := s.Camera.ViewProj()
 	overlay := scene.OverlayProj()
 	now := startCycle
 	var memStall int64
 
-	clipBuf := make([]geom.Vertex, 0, 16)
-	shaded := make([]geom.Vertex, 0, 256)
+	clipBuf := p.clipBuf[:0]
+	shaded := p.shaded[:0]
 	seq := 0
 	for di := range s.DrawCalls {
 		dc := &s.DrawCalls[di]
@@ -215,5 +224,6 @@ func (p *Pipeline) Run(s *scene.Scene, screenW, screenH int, startCycle int64) (
 	if feedCycles > st.Cycles {
 		st.Cycles = feedCycles
 	}
+	p.prims, p.shaded, p.clipBuf = prims, shaded, clipBuf
 	return prims, st
 }

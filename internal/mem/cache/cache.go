@@ -229,13 +229,19 @@ func (c *Cache) Contains(addr uint64) bool {
 // Lines returns the line addresses currently resident, used to measure
 // block replication across sibling caches.
 func (c *Cache) Lines() []uint64 {
-	var out []uint64
+	return c.AppendLines(nil)
+}
+
+// AppendLines appends the resident line addresses to dst and returns the
+// extended slice — the allocation-free form of Lines for callers with a
+// reusable scratch buffer.
+func (c *Cache) AppendLines(dst []uint64) []uint64 {
 	for _, l := range c.lines {
 		if l.valid {
-			out = append(out, l.tag<<c.lineShift)
+			dst = append(dst, l.tag<<c.lineShift)
 		}
 	}
-	return out
+	return dst
 }
 
 // ValidLines returns the number of currently valid lines (test helper and

@@ -101,9 +101,33 @@ type bank struct {
 }
 
 type channel struct {
-	banks    []bank
-	busFree  int64   // cycle at which the data bus is free
-	inflight []int64 // completion times of outstanding requests (bounded queue)
+	banks   []bank
+	busFree int64 // cycle at which the data bus is free
+	// inflight is a fixed-capacity ring of completion times of outstanding
+	// requests (the bounded controller queue). A plain slice with [1:] pops
+	// bleeds front capacity and re-allocates on every append under a full
+	// queue — per-access garbage on the simulator's hottest path.
+	inflight []int64 // ring storage, len == QueueDepth
+	infHead  int     // index of the oldest outstanding request
+	infLen   int     // outstanding request count
+}
+
+// infAt returns the i-th oldest outstanding completion time.
+func (c *channel) infAt(i int) int64 {
+	j := c.infHead + i
+	if j >= len(c.inflight) {
+		j -= len(c.inflight)
+	}
+	return c.inflight[j]
+}
+
+// infSet overwrites the i-th oldest slot (compaction helper).
+func (c *channel) infSet(i int, v int64) {
+	j := c.infHead + i
+	if j >= len(c.inflight) {
+		j -= len(c.inflight)
+	}
+	c.inflight[j] = v
 }
 
 // DRAM is a timed multi-channel, multi-bank memory.
@@ -150,6 +174,7 @@ func New(cfg Config) *DRAM {
 	d := &DRAM{cfg: cfg, channels: make([]channel, cfg.Channels)}
 	for i := range d.channels {
 		d.channels[i].banks = make([]bank, cfg.Banks)
+		d.channels[i].inflight = make([]int64, cfg.QueueDepth)
 		for b := range d.channels[i].banks {
 			d.channels[i].banks[b].openRow = -1
 		}
@@ -195,9 +220,13 @@ func (d *DRAM) Access(now int64, addr uint64, write bool) (done int64) {
 	start := now
 	// Bounded controller queue: with QueueDepth requests outstanding, a new
 	// arrival waits for the oldest to complete.
-	if len(c.inflight) >= d.cfg.QueueDepth {
-		oldest := c.inflight[0]
-		c.inflight = c.inflight[1:]
+	if c.infLen >= d.cfg.QueueDepth {
+		oldest := c.inflight[c.infHead]
+		c.infHead++
+		if c.infHead == len(c.inflight) {
+			c.infHead = 0
+		}
+		c.infLen--
 		if oldest > start {
 			start = oldest
 		}
@@ -248,14 +277,18 @@ func (d *DRAM) Access(now int64, addr uint64, write bool) (done int64) {
 		b.readyAt = start + deviceLat
 	}
 
-	// Track outstanding requests (drop completed ones lazily).
-	live := c.inflight[:0]
-	for _, t := range c.inflight {
-		if t > now {
-			live = append(live, t)
+	// Track outstanding requests (drop completed ones lazily): compact the
+	// still-live completion times toward the ring head, then push done.
+	w := 0
+	for i := 0; i < c.infLen; i++ {
+		if t := c.infAt(i); t > now {
+			c.infSet(w, t)
+			w++
 		}
 	}
-	c.inflight = append(live, done)
+	c.infLen = w
+	c.infSet(c.infLen, done)
+	c.infLen++
 
 	lat := done - now
 	if write {
@@ -272,7 +305,7 @@ func (d *DRAM) Access(now int64, addr uint64, write bool) (done int64) {
 		d.OnRequest(start)
 	}
 	if d.rec != nil {
-		d.rec.DRAMAccess(ch, bk, start, done, write, rowHit, len(c.inflight))
+		d.rec.DRAMAccess(ch, bk, start, done, write, rowHit, c.infLen)
 	}
 	return done
 }

@@ -81,17 +81,23 @@ func (fb *FrameBuffer) PixelAddr(x, y int) uint64 {
 // when the given tile's Color Buffer is flushed (§II-A: the Color Buffer is
 // entirely written to main memory once per tile).
 func (fb *FrameBuffer) TileFlushLines(grid tiling.Grid, tileID int) []uint64 {
+	return fb.AppendTileFlushLines(nil, grid, tileID)
+}
+
+// AppendTileFlushLines appends the tile's flush-line addresses to dst and
+// returns the extended slice, allocating only when dst lacks capacity — the
+// steady-state form of TileFlushLines for reused TileWork buffers.
+func (fb *FrameBuffer) AppendTileFlushLines(dst []uint64, grid tiling.Grid, tileID int) []uint64 {
 	r := grid.TileRect(tileID)
-	var lines []uint64
 	var last uint64 = ^uint64(0)
 	for y := r.MinY; y <= r.MaxY; y++ {
 		for x := r.MinX; x <= r.MaxX; x++ {
 			line := fb.PixelAddr(x, y) &^ 63
 			if line != last {
-				lines = append(lines, line)
+				dst = append(dst, line)
 				last = line
 			}
 		}
 	}
-	return lines
+	return dst
 }

@@ -43,6 +43,44 @@ type TileWork struct {
 	Primitives      int
 }
 
+// Reset clears the work to an empty trace for tileID while keeping the
+// backing arrays of its slices, so a long-lived TileWork can absorb one tile
+// after another without allocating once its slices have grown to the hot
+// tile's watermark.
+func (w *TileWork) Reset(tileID int) {
+	w.TileID = tileID
+	w.Quads = w.Quads[:0]
+	w.TexLines = w.TexLines[:0]
+	w.PBReads = w.PBReads[:0]
+	w.FlushLines = w.FlushLines[:0]
+	w.Instructions = 0
+	w.FragmentsShaded = 0
+	w.FragmentsKilled = 0
+	w.PixelsCovered = 0
+	w.Primitives = 0
+}
+
+// Clone deep-copies the work so it stays valid after the source's buffers are
+// reused. Empty slices become nil, matching a freshly rendered TileWork, so
+// clones of reused and fresh renders are reflect.DeepEqual-identical.
+func (w TileWork) Clone() TileWork {
+	c := w
+	c.Quads = cloneSlice(w.Quads)
+	c.TexLines = cloneSlice(w.TexLines)
+	c.PBReads = cloneSlice(w.PBReads)
+	c.FlushLines = cloneSlice(w.FlushLines)
+	return c
+}
+
+func cloneSlice[T any](s []T) []T {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
 // Filtering selects the texture sampling footprint.
 type Filtering int
 
@@ -85,10 +123,25 @@ func (r *Renderer) SetFiltering(f Filtering) { r.filter = f }
 
 // RenderTile renders one tile: consumes the tile's primitive list in program
 // order, performs depth test and blending against the on-chip buffers,
-// flushes the Color Buffer into fb, and returns the tile's work trace.
+// flushes the Color Buffer into fb, and returns the tile's work trace in
+// freshly allocated storage. The steady-state frame loop uses RenderTileInto
+// instead, which reuses a caller-owned TileWork.
 func (r *Renderer) RenderTile(sc *scene.Scene, prims []gpipe.Primitive, refs []tiling.PrimRef, tileID int, fb *FrameBuffer) TileWork {
+	var w TileWork
+	r.RenderTileInto(&w, sc, prims, refs, tileID, fb)
+	return w
+}
+
+// RenderTileInto is RenderTile appending into w's existing storage: w is
+// Reset for tileID and its slices grow only past their previous capacity, so
+// rendering tile after tile into one TileWork allocates nothing once the
+// buffers reach the frame's hot-tile watermark. The produced trace is
+// value-identical to RenderTile's (only slice capacities may differ); w's
+// slices are owned by the caller and invalidated by the next RenderTileInto
+// on the same w.
+func (r *Renderer) RenderTileInto(w *TileWork, sc *scene.Scene, prims []gpipe.Primitive, refs []tiling.PrimRef, tileID int, fb *FrameBuffer) {
 	rect := r.grid.TileRect(tileID)
-	w := TileWork{TileID: tileID}
+	w.Reset(tileID)
 
 	// Reset on-chip buffers (free on real hardware).
 	for i := range r.zbuf {
@@ -100,7 +153,7 @@ func (r *Renderer) RenderTile(sc *scene.Scene, prims []gpipe.Primitive, refs []t
 		w.PBReads = append(w.PBReads, ref.Addr)
 		p := &prims[ref.Prim]
 		dc := &sc.DrawCalls[p.Draw]
-		r.rasterPrim(p, &dc.Material, rect, &w)
+		r.rasterPrim(p, &dc.Material, rect, w)
 		w.Primitives++
 	}
 
@@ -110,8 +163,19 @@ func (r *Renderer) RenderTile(sc *scene.Scene, prims []gpipe.Primitive, refs []t
 			fb.Pixels[y*fb.W+x] = r.cbuf[r.local(x, y, rect)]
 		}
 	}
-	w.FlushLines = fb.TileFlushLines(r.grid, tileID)
-	return w
+	w.FlushLines = fb.AppendTileFlushLines(w.FlushLines, r.grid, tileID)
+}
+
+// Reset restores the renderer to its just-constructed state. The on-chip
+// Z/Color buffers are re-cleared at every tile anyway, so Reset exists to
+// make the reuse contract explicit: a Reset renderer is indistinguishable
+// from a new one (the filtering mode, part of the configuration rather than
+// per-tile state, is preserved).
+func (r *Renderer) Reset() {
+	for i := range r.zbuf {
+		r.zbuf[i] = math.MaxFloat32
+		r.cbuf[i] = ClearColor
+	}
 }
 
 // local maps screen pixel (x, y) to the tile-local buffer index.

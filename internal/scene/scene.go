@@ -72,6 +72,17 @@ func NewScene() *Scene {
 	}
 }
 
+// Reset empties the scene for rebuilding while keeping the draw-call backing
+// array, so a long-lived scene rebuilt every frame stops allocating once it
+// reaches the frame's draw-call watermark. A Reset scene is indistinguishable
+// from a new one: meshes keep their assigned geometry addresses (Add only
+// assigns when Mesh.Base is zero), exactly as they would across fresh scenes.
+func (s *Scene) Reset() {
+	s.Camera = Camera{View: geom.Identity(), Proj: geom.Identity()}
+	s.DrawCalls = s.DrawCalls[:0]
+	s.geomAlloc = mem.GeometryBase
+}
+
 // Add appends a draw call, assigning the mesh a geometry-region address if it
 // does not have one yet, and defaulting the vertex program.
 func (s *Scene) Add(dc DrawCall) {

@@ -39,9 +39,12 @@ import (
 // renderFarm owns one private Renderer per worker. Renderers carry no
 // cross-tile state (buffers reset per tile), so any worker may render any
 // tile; private instances exist only to keep the scratch Z/Color buffers
-// race-free.
+// race-free. The per-tile work slots persist across frames: each slot's
+// slices are reset and refilled in place every frame, so steady-state frames
+// allocate nothing here. Slot buffers are valid until the next renderFrame.
 type renderFarm struct {
 	renderers []*raster.Renderer
+	works     []raster.TileWork
 }
 
 // newRenderFarm builds the worker-private renderers for cfg.Workers workers.
@@ -63,7 +66,10 @@ func newRenderFarm(cfg Config, grid tiling.Grid) *renderFarm {
 // serial path where rasterization panics surface to RunRaster's caller.
 func (f *renderFarm) renderFrame(in FrameInput) []raster.TileWork {
 	n := len(in.Lists.Lists)
-	works := make([]raster.TileWork, n)
+	if cap(f.works) < n {
+		f.works = make([]raster.TileWork, n)
+	}
+	works := f.works[:n]
 	workers := len(f.renderers)
 	if workers > n {
 		workers = n
@@ -93,7 +99,7 @@ func (f *renderFarm) renderFrame(in FrameInput) []raster.TileWork {
 				if tile >= n {
 					return
 				}
-				works[tile] = r.RenderTile(in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
+				r.RenderTileInto(&works[tile], in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
 			}
 		}(f.renderers[w])
 	}

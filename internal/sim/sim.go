@@ -158,6 +158,47 @@ type Engine struct {
 	// rec, when non-nil, receives per-tile spans for the observability
 	// layer. The nil check keeps the disabled hot path branch-only.
 	rec telemetry.Recorder
+
+	// perRU is the reusable backing array of FrameOutput.PerRU, so a
+	// steady-state RunRaster allocates nothing. The returned slice is valid
+	// until the next RunRaster on this engine.
+	perRU []RUStats
+
+	// texCaches caches the flattened per-core texture L1 list.
+	texCaches []*cache.Cache
+}
+
+// warpRing is a fixed-capacity FIFO of in-flight quad completion times, one
+// per shader core. Capacity is Config.WarpsPerCore; the backing array is
+// allocated once at engine construction so the per-quad push/pop on the
+// timing hot path never touches the allocator.
+type warpRing struct {
+	buf  []int64
+	head int // index of the oldest entry
+	n    int // live entries
+}
+
+func (r *warpRing) reset() { r.head, r.n = 0, 0 }
+
+// pop removes and returns the oldest completion time.
+func (r *warpRing) pop() int64 {
+	v := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return v
+}
+
+// push appends a completion time; the caller pops first when full.
+func (r *warpRing) push(v int64) {
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
 }
 
 type rasterUnit struct {
@@ -167,12 +208,19 @@ type rasterUnit struct {
 
 	now      int64
 	coreFree []int64
-	rings    [][]int64
+	rings    []warpRing
 	rr       int
 	feClock  float64 // rasterizer front-end availability (absolute cycles)
 	feStep   float64 // front-end occupancy per quad for the current tile
 
-	work       raster.TileWork
+	// work is the tile currently being replayed. In the serial rendering
+	// path it is a shallow copy of scratch; in replay modes it aliases the
+	// caller's Works entry. Read-only during the replay either way.
+	work raster.TileWork
+	// scratch is the RU-owned reusable TileWork the serial path renders
+	// into; its buffers are reset and refilled at every tile, so steady-state
+	// rendering stops allocating once they reach the hot-tile watermark.
+	scratch    raster.TileWork
 	quadIdx    int
 	tileActive bool
 	tileAcq    int64 // cycle the tile was acquired (telemetry span start)
@@ -197,7 +245,10 @@ func NewEngine(cfg Config, grid tiling.Grid, hier *mem.Hierarchy) *Engine {
 			id:       i,
 			renderer: raster.NewRenderer(grid),
 			coreFree: make([]int64, cfg.CoresPerRU),
-			rings:    make([][]int64, cfg.CoresPerRU),
+			rings:    make([]warpRing, cfg.CoresPerRU),
+		}
+		for c := range ru.rings {
+			ru.rings[c].buf = make([]int64, cfg.WarpsPerCore)
 		}
 		ru.renderer.SetFiltering(cfg.Filtering)
 		for c := 0; c < cfg.CoresPerRU; c++ {
@@ -228,13 +279,15 @@ func (e *Engine) SetRecorder(rec telemetry.Recorder) { e.rec = rec }
 func (e *Engine) TileCache() *cache.Cache { return e.tileCache }
 
 // TextureCaches returns all per-core texture L1s across RUs, used for
-// hit-ratio and replication metrics.
+// hit-ratio and replication metrics. The slice is built once and cached
+// (the cache set is fixed at construction); callers must not modify it.
 func (e *Engine) TextureCaches() []*cache.Cache {
-	var out []*cache.Cache
-	for _, ru := range e.rus {
-		out = append(out, ru.texL1...)
+	if e.texCaches == nil {
+		for _, ru := range e.rus {
+			e.texCaches = append(e.texCaches, ru.texL1...)
+		}
 	}
-	return out
+	return e.texCaches
 }
 
 // ResetFrameStats clears per-frame counters on the engine's caches (contents
@@ -261,7 +314,10 @@ type FrameInput struct {
 	// [ru][tile]. Takes precedence over Works.
 	WorksByRU [][]raster.TileWork
 	// OnTileWork, when non-nil, receives every tile's work trace as it is
-	// rendered (trace recording).
+	// rendered (trace recording). The TileWork's slices are owned by the
+	// engine's reusable scratch and are valid only for the duration of the
+	// call: a sink that retains the trace past its return must deep-copy it
+	// with TileWork.Clone.
 	OnTileWork func(raster.TileWork)
 	// TileStats, when non-nil, accumulates per-tile DRAM accesses and
 	// instruction counts (LIBRA's temperature inputs).
@@ -271,7 +327,9 @@ type FrameInput struct {
 }
 
 // RunRaster simulates the raster phase of one frame and returns its timing
-// and activity. Rendering output lands in in.FB.
+// and activity. Rendering output lands in in.FB. The returned PerRU slice is
+// backed by engine-owned scratch and is valid until the next RunRaster call
+// on this engine; callers that retain outputs across frames must copy it.
 func (e *Engine) RunRaster(in FrameInput) FrameOutput {
 	// Parallel intra-frame mode: rasterize every tile functionally on the
 	// render farm first (rendezvous barrier inside), then replay the frame
@@ -291,7 +349,7 @@ func (e *Engine) RunRaster(in FrameInput) FrameOutput {
 		ru.stats = RUStats{StartCycle: in.StartCycle}
 		for c := range ru.coreFree {
 			ru.coreFree[c] = in.StartCycle
-			ru.rings[c] = ru.rings[c][:0]
+			ru.rings[c].reset()
 		}
 	}
 
@@ -303,7 +361,7 @@ func (e *Engine) RunRaster(in FrameInput) FrameOutput {
 		e.step(ru, in)
 	}
 
-	out := FrameOutput{RasterCycles: 0}
+	out := FrameOutput{RasterCycles: 0, PerRU: e.perRU[:0]}
 	end := in.StartCycle
 	for _, ru := range e.rus {
 		out.PerRU = append(out.PerRU, ru.stats)
@@ -319,6 +377,7 @@ func (e *Engine) RunRaster(in FrameInput) FrameOutput {
 		out.DRAMAccesses += ru.stats.DRAMAccesses
 	}
 	out.RasterCycles = end - in.StartCycle
+	e.perRU = out.PerRU
 	return out
 }
 
@@ -362,7 +421,8 @@ func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
 	} else if in.Works != nil {
 		ru.work = in.Works[tile]
 	} else {
-		ru.work = ru.renderer.RenderTile(in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
+		ru.renderer.RenderTileInto(&ru.scratch, in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
+		ru.work = ru.scratch
 	}
 	if in.OnTileWork != nil {
 		in.OnTileWork(ru.work)
@@ -375,7 +435,7 @@ func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
 	ru.tileEnd = ru.tileStart
 	for c := range ru.coreFree {
 		ru.coreFree[c] = ru.tileStart
-		ru.rings[c] = ru.rings[c][:0]
+		ru.rings[c].reset()
 	}
 	// Front-end budget for this tile: per-quad issue plus per-primitive
 	// setup, spread uniformly over the tile's quads.
@@ -415,9 +475,8 @@ func (e *Engine) processBatch(ru *rasterUnit, in FrameInput) {
 		ru.rr++
 
 		start := ru.coreFree[c]
-		if len(ru.rings[c]) >= e.cfg.WarpsPerCore {
-			oldest := ru.rings[c][0]
-			ru.rings[c] = ru.rings[c][1:]
+		if ru.rings[c].n >= e.cfg.WarpsPerCore {
+			oldest := ru.rings[c].pop()
 			if oldest > start {
 				start = oldest
 			}
@@ -453,7 +512,7 @@ func (e *Engine) processBatch(ru *rasterUnit, in FrameInput) {
 		if ru.coreFree[c] > complete {
 			complete = ru.coreFree[c]
 		}
-		ru.rings[c] = append(ru.rings[c], complete)
+		ru.rings[c].push(complete)
 		if complete > ru.tileEnd {
 			ru.tileEnd = complete
 		}

@@ -20,7 +20,7 @@ import (
 // fragment misses to DRAM and there is no inter-tile reuse to confound the
 // experiment) and the right half is "cold" (layered ALU-heavy procedural
 // quads with no texture traffic).
-func testFrame(t *testing.T, grid tiling.Grid) (*scene.Scene, []gpipe.Primitive, *tiling.TileLists) {
+func testFrame(t testing.TB, grid tiling.Grid) (*scene.Scene, []gpipe.Primitive, *tiling.TileLists) {
 	t.Helper()
 	sc := scene.NewScene()
 	fw, fh := float32(grid.ScreenW), float32(grid.ScreenH)
@@ -364,8 +364,9 @@ func TestReplayWorksMatchesLive(t *testing.T) {
 	works := make([]raster.TileWork, grid.NumTiles())
 	live := eng.RunRaster(FrameInput{
 		Scene: sc, Prims: prims, Lists: lists, FB: fb,
-		Scheduler:  sched.NewZOrderQueue(grid),
-		OnTileWork: func(tw raster.TileWork) { works[tw.TileID] = tw },
+		Scheduler: sched.NewZOrderQueue(grid),
+		// The hook's TileWork aliases engine scratch; Clone to retain it.
+		OnTileWork: func(tw raster.TileWork) { works[tw.TileID] = tw.Clone() },
 	})
 
 	// Replay against a fresh memory system: identical functional work.

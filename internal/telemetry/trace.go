@@ -51,15 +51,43 @@ func (c TraceConfig) withDefaults() TraceConfig {
 // format: ph is the phase ("X" complete span, "i" instant, "C" counter, "M"
 // metadata), ts/dur are microseconds.
 type Event struct {
-	Name string         `json:"name,omitempty"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
+	Name string  `json:"name,omitempty"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	Args any     `json:"args,omitempty"`
+}
+
+// Typed Args payloads. A map[string]any here would put every emit on the
+// allocation hot path (map header + boxed values); small structs keep the
+// event append allocation-free apart from the events slice itself. Fields are
+// declared in alphabetical JSON-name order so the marshaled bytes match the
+// sorted-key output of the maps they replace, keeping golden traces stable.
+type tileArgs struct {
+	Dram  int `json:"dram"`
+	Quads int `json:"quads"`
+	Tile  int `json:"tile"`
+}
+
+type dramArgs struct {
+	Queue  int  `json:"queue"`
+	RowHit bool `json:"rowHit"`
+}
+
+type depthArgs struct {
+	Depth int `json:"depth"`
+}
+
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+type pctArgs struct {
+	Pct float64 `json:"pct"`
 }
 
 // ruMetrics are the per-Raster-Unit registry handles, resolved once per RU so
@@ -218,7 +246,7 @@ func (t *Trace) TileSpan(ru, tile int, start, end int64, quads, dramAccesses int
 		Dur:  t.us(end - start),
 		Pid:  pidRU,
 		Tid:  ru,
-		Args: map[string]any{"tile": tile, "quads": quads, "dram": dramAccesses},
+		Args: tileArgs{Dram: dramAccesses, Quads: quads, Tile: tile},
 	})
 }
 
@@ -287,7 +315,7 @@ func (t *Trace) DRAMAccess(channel, bank int, start, done int64, write, rowHit b
 		Dur:  t.us(done - start),
 		Pid:  pidDRAM,
 		Tid:  tid,
-		Args: map[string]any{"rowHit": rowHit, "queue": queueDepth},
+		Args: dramArgs{Queue: queueDepth, RowHit: rowHit},
 	})
 	t.add(Event{
 		Name: fmt.Sprintf("dram queue ch%d", channel),
@@ -295,7 +323,7 @@ func (t *Trace) DRAMAccess(channel, bank int, start, done int64, write, rowHit b
 		Ts:   t.us(start),
 		Pid:  pidDRAM,
 		Tid:  0,
-		Args: map[string]any{"depth": queueDepth},
+		Args: depthArgs{Depth: queueDepth},
 	})
 }
 
@@ -386,10 +414,10 @@ func (t *Trace) ExportChromeTrace(w io.Writer) error {
 // deterministic export.
 func (t *Trace) metadataEvents() []Event {
 	procName := func(pid int, name string) Event {
-		return Event{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
+		return Event{Name: "process_name", Ph: "M", Pid: pid, Args: nameArgs{Name: name}}
 	}
 	threadName := func(pid, tid int, name string) Event {
-		return Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}}
+		return Event{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: nameArgs{Name: name}}
 	}
 	out := []Event{
 		procName(pidFrame, "frames+scheduler"),
@@ -433,7 +461,7 @@ func (t *Trace) hitRateEvents(name string, hits, misses *IntervalHistogram) []Ev
 			Ts:   t.us(int64(i) * t.cfg.MetricsInterval),
 			Pid:  pidCache,
 			Tid:  0,
-			Args: map[string]any{"pct": 100 * hv / (hv + mv)},
+			Args: pctArgs{Pct: 100 * hv / (hv + mv)},
 		})
 	}
 	return out

@@ -30,8 +30,33 @@ type TileLists struct {
 // Bin runs the Polygon List Builder: each primitive is appended (in program
 // order) to the list of every tile its screen bounding box overlaps. The
 // conservative bbox test matches the hardware's coarse binning rasterizer.
+// Each call allocates fresh lists; the frame loop reuses a Binner instead.
 func Bin(grid Grid, prims []gpipe.Primitive) *TileLists {
-	tl := &TileLists{Grid: grid, Lists: make([][]PrimRef, grid.NumTiles())}
+	var b Binner
+	return b.Bin(grid, prims)
+}
+
+// Binner is a reusable Polygon List Builder: the per-tile lists keep their
+// backing arrays between frames, so steady-state binning allocates nothing
+// once the lists reach the scene's watermark. The TileLists returned by Bin
+// aliases the Binner's storage and is valid until the next Bin call.
+type Binner struct {
+	tl TileLists
+}
+
+// Bin bins prims into the grid, reusing the Binner's per-tile list storage.
+func (bn *Binner) Bin(grid Grid, prims []gpipe.Primitive) *TileLists {
+	tl := &bn.tl
+	tl.Grid = grid
+	tl.PBBytes = 0
+	tl.Binned = 0
+	if cap(tl.Lists) < grid.NumTiles() {
+		tl.Lists = make([][]PrimRef, grid.NumTiles())
+	}
+	tl.Lists = tl.Lists[:grid.NumTiles()]
+	for i := range tl.Lists {
+		tl.Lists[i] = tl.Lists[i][:0]
+	}
 	next := mem.ParamBase
 	for pi := range prims {
 		b := prims[pi].ScreenBounds(grid.ScreenW, grid.ScreenH)

@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteZeroAllocs pins trace serialization at zero heap allocations once
+// the destination buffer is warm: the bufio.Writer comes from the pool and
+// the varint scratch lives on the stack, so per-frame capture costs nothing
+// beyond the caller's output buffer.
+func TestWriteZeroAllocs(t *testing.T) {
+	ft := randomTrace(7, 24)
+	var buf bytes.Buffer
+	if err := Write(&buf, ft); err != nil { // grow buf to the watermark
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		buf.Reset()
+		if err := Write(&buf, ft); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm trace.Write allocated %.1f times per frame, want 0", allocs)
+	}
+}

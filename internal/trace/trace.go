@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/raster"
 )
@@ -32,6 +33,14 @@ import (
 const (
 	magic   = "LTRC"
 	version = 1
+)
+
+// Buffered writers and readers are pooled: trace capture runs once per frame
+// in the steady-state loop, and the 4 KiB bufio buffers dominate what would
+// otherwise be Write/Read's only allocations.
+var (
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+	readerPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
 )
 
 // FrameTrace is one frame's complete raster workload.
@@ -42,7 +51,12 @@ type FrameTrace struct {
 
 // Write serializes the trace.
 func Write(w io.Writer, ft *FrameTrace) error {
-	bw := bufio.NewWriter(w)
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(nil)
+		writerPool.Put(bw)
+	}()
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
@@ -91,9 +105,14 @@ func writeAddrs(bw *bufio.Writer, addrs []uint64) {
 
 // Read deserializes a trace written by Write.
 func Read(r io.Reader) (*FrameTrace, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, 5)
-	if _, err := io.ReadFull(br, head); err != nil {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
+	var head [5]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
 		return nil, err
 	}
 	if string(head[:4]) != magic {
@@ -198,16 +217,21 @@ func readAddrs(br *bufio.Reader) ([]uint64, error) {
 	return out, nil
 }
 
+// putUvarint emits v byte-by-byte (same wire format as binary.PutUvarint).
+// A stack scratch array passed to bw.Write would escape through the writer's
+// underlying io.Writer interface and turn every varint into a heap
+// allocation; WriteByte never escapes anything.
 func putUvarint(bw *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	bw.Write(buf[:n])
+	for v >= 0x80 {
+		bw.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	bw.WriteByte(byte(v))
 }
 
+// putVarint zig-zag encodes v (same wire format as binary.PutVarint).
 func putVarint(bw *bufio.Writer, v int64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], v)
-	bw.Write(buf[:n])
+	putUvarint(bw, uint64(v)<<1^uint64(v>>63))
 }
 
 func getUint(br *bufio.Reader, err error) (uint64, error) {

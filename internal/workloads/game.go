@@ -41,6 +41,23 @@ type Game struct {
 	clusterMesh []*scene.Mesh // per-cluster atlas-window quads
 	scatterMesh *scene.Mesh
 	hudMesh     []*scene.Mesh
+
+	// texSlices caches the one-element Material.Textures slice per texture:
+	// draw calls sampling the same texture share one immutable slice instead
+	// of allocating a fresh one per call per frame.
+	texSlices map[*scene.Texture][]*scene.Texture
+	// frameScene is the reusable scene returned by FrameScene.
+	frameScene *scene.Scene
+}
+
+// ts returns the cached one-element texture slice for t.
+func (g *Game) ts(t *scene.Texture) []*scene.Texture {
+	s, ok := g.texSlices[t]
+	if !ok {
+		s = []*scene.Texture{t}
+		g.texSlices[t] = s
+	}
+	return s
 }
 
 // atlasQuad returns a unit quad whose UVs span an atlas window of the given
@@ -58,7 +75,11 @@ func atlasQuad(windowTexels, texSize int) *scene.Mesh {
 // New instantiates the profile, allocating its full texture set so that
 // texture addresses are stable across all frames (frame coherence).
 func (p Profile) New() *Game {
-	g := &Game{Profile: p, alloc: scene.NewTextureAllocator()}
+	g := &Game{
+		Profile:   p,
+		alloc:     scene.NewTextureAllocator(),
+		texSlices: map[*scene.Texture][]*scene.Texture{},
+	}
 	pr := p.Params
 	for i := 0; i < pr.BGLayers; i++ {
 		g.bgTex = append(g.bgTex, g.alloc.Alloc(pr.BGTexSize, pr.BGTexSize))
@@ -144,10 +165,32 @@ func wrap01(x float32) float32 {
 	return x
 }
 
-// BuildFrame constructs the scene for the given frame index. Consecutive
-// frames differ only by small animation deltas, except at scene cuts.
+// BuildFrame constructs the scene for the given frame index in freshly
+// allocated storage. Consecutive frames differ only by small animation
+// deltas, except at scene cuts. The steady-state frame loop uses FrameScene,
+// which reuses one Game-owned scene, instead.
 func (g *Game) BuildFrame(frame int) *scene.Scene {
 	s := scene.NewScene()
+	g.buildInto(s, frame)
+	return s
+}
+
+// FrameScene builds the frame into the Game's reusable scene and returns it.
+// The scene is value-identical to BuildFrame's (Reset restores a scene to
+// its just-created state) but its draw-call storage is reused: the returned
+// scene is valid only until the next FrameScene call on this Game.
+func (g *Game) FrameScene(frame int) *scene.Scene {
+	if g.frameScene == nil {
+		g.frameScene = scene.NewScene()
+	} else {
+		g.frameScene.Reset()
+	}
+	g.buildInto(g.frameScene, frame)
+	return g.frameScene
+}
+
+// buildInto appends the frame's draw calls to the empty scene s.
+func (g *Game) buildInto(s *scene.Scene, frame int) {
 	pr := g.Params
 	rng := rand.New(rand.NewSource(g.layoutSeed(frame)))
 	f := float32(frame)
@@ -174,7 +217,7 @@ func (g *Game) BuildFrame(frame int) *scene.Scene {
 			Mesh: g.tiledQuad,
 			Material: scene.Material{
 				Program:    pr.BGProgram,
-				Textures:   []*scene.Texture{tex},
+				Textures:   g.ts(tex),
 				Blend:      blendFor(i),
 				DepthWrite: i == 0,
 			},
@@ -198,7 +241,7 @@ func (g *Game) BuildFrame(frame int) *scene.Scene {
 			Mesh: g.scatterMesh,
 			Material: scene.Material{
 				Program:  pr.ScatterProg,
-				Textures: []*scene.Texture{tex},
+				Textures: g.ts(tex),
 				Blend:    scene.BlendAlpha,
 			},
 			Model:       screenQuad(x, y, pr.ScatterSize, pr.ScatterSize, 2),
@@ -230,7 +273,7 @@ func (g *Game) BuildFrame(frame int) *scene.Scene {
 				Mesh: g.clusterMesh[ci],
 				Material: scene.Material{
 					Program:  prog,
-					Textures: []*scene.Texture{pool[i%len(pool)]},
+					Textures: g.ts(pool[i%len(pool)]),
 					Blend:    c.Blend,
 				},
 				Model:       screenQuad(cx+ox+wob, cy+oy, c.SpriteSize, c.SpriteSize, 3+float32(i)*0.01),
@@ -249,7 +292,7 @@ func (g *Game) BuildFrame(frame int) *scene.Scene {
 				Mesh: g.hudMesh[hi],
 				Material: scene.Material{
 					Program:  shader.UI,
-					Textures: []*scene.Texture{tex},
+					Textures: g.ts(tex),
 					Blend:    scene.BlendAlpha,
 				},
 				Model:       screenQuad(segW*(float32(sgt)+0.5), h.Y, segW*0.9, h.H, 40),
@@ -258,7 +301,6 @@ func (g *Game) BuildFrame(frame int) *scene.Scene {
 			})
 		}
 	}
-	return s
 }
 
 // screenQuad builds a model matrix placing the unit quad at normalized
@@ -301,7 +343,7 @@ func (g *Game) build3DContent(s *scene.Scene, rng *rand.Rand, f float32) {
 			Mesh: g.terrainMesh,
 			Material: scene.Material{
 				Program:    prog,
-				Textures:   []*scene.Texture{g.terrain},
+				Textures:   g.ts(g.terrain),
 				Blend:      scene.BlendOpaque,
 				DepthWrite: true,
 			},
@@ -321,7 +363,7 @@ func (g *Game) build3DContent(s *scene.Scene, rng *rand.Rand, f float32) {
 			Mesh: g.box,
 			Material: scene.Material{
 				Program:    prog,
-				Textures:   []*scene.Texture{g.boxTex},
+				Textures:   g.ts(g.boxTex),
 				Blend:      scene.BlendOpaque,
 				DepthWrite: true,
 			},

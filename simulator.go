@@ -92,7 +92,7 @@ func (r *Run) Benchmark() string { return r.game.Abbrev }
 
 // RenderFrame renders the next frame of the benchmark's animation.
 func (r *Run) RenderFrame() FrameResult {
-	sc := r.game.BuildFrame(r.next)
+	sc := r.game.FrameScene(r.next)
 	res := r.gpu.RenderFrame(sc)
 	r.next++
 	return publishResult(res, r.gpu.Config().ClockHz)

@@ -14,7 +14,7 @@ import (
 // can be re-timed under any scheduler or memory configuration with
 // ReplayTrace.
 func (r *Run) CaptureTrace() (FrameResult, []byte, error) {
-	sc := r.game.BuildFrame(r.next)
+	sc := r.game.FrameScene(r.next)
 	res, ft := r.gpu.CaptureTrace(sc)
 	r.next++
 	var buf bytes.Buffer
