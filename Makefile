@@ -5,14 +5,17 @@ GO ?= go
 PKGS := ./...
 # Packages the parallel experiment engine and the intra-frame render farm
 # exercise concurrently — the race detector's regression surface (telemetry:
-# one shared Trace fed by the pool; raster: disjoint-tile FrameBuffer writes).
-RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/telemetry ./internal/raster ./internal/resultstore
-# Statement-coverage floor: just under the measured baseline (76.0% with the
-# equivalence matrix, fuzz and metamorphic suites), enforced by the CI
+# one shared Trace fed by the pool; raster: disjoint-tile FrameBuffer writes;
+# serve: concurrent /v1/run with mid-flight cancellation against the shared
+# singleflight runner).
+RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/telemetry ./internal/raster ./internal/resultstore ./internal/serve
+# Statement-coverage floor: just under the measured baseline (73.8% with the
+# service layer and its uncovered cmd/libraserve + cmd/loadgen mains, which
+# the serve-smoke job exercises end to end instead), enforced by the CI
 # coverage job.
-COVERAGE_MIN ?= 75.5
+COVERAGE_MIN ?= 73.5
 
-.PHONY: build test race fmt vet lint bench bench-json bench-gate bench-gate-update cover determinism trace-smoke store-smoke fuzz ci
+.PHONY: build test race fmt vet lint bench bench-json bench-gate bench-gate-update cover determinism trace-smoke store-smoke serve-smoke fuzz ci
 
 build:
 	$(GO) build $(PKGS)
@@ -103,11 +106,20 @@ store-smoke:
 	grep -q 'sims=0' /tmp/libra-store-warm2.err
 	$(GO) run ./cmd/resultstore -dir /tmp/libra-store-smoke verify
 
+# Simulation service, end to end (the CI serve-smoke job runs this same
+# script): boot libraserve on a fresh store, cold loadgen pass, graceful
+# SIGTERM drain, warm 1000-client pass answered with zero simulations,
+# byte-identical /v1/run body vs a direct `librasim -json` run, and a
+# mid-flight cancellation that must leave the store verifiably clean.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 # Short coverage-guided fuzzing bursts on top of the committed seed corpora
 # (which plain `go test` already replays on every run).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWorkloadGen -fuzztime 15s ./internal/workloads
 	$(GO) test -run '^$$' -fuzz FuzzSchedEquivalence -fuzztime 15s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzResultKey -fuzztime 15s ./internal/experiments
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRunRequest -fuzztime 15s ./internal/serve
 
-ci: build vet fmt lint test race bench bench-gate determinism trace-smoke store-smoke fuzz cover
+ci: build vet fmt lint test race bench bench-gate determinism trace-smoke store-smoke serve-smoke fuzz cover

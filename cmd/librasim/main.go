@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	libra "repro"
@@ -47,16 +50,22 @@ func main() {
 		screenshot = flag.String("screenshot", "", "write the last rendered frame as a PPM image to this path (single run)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (open in Perfetto) to this path; for -experiment, traces the first simulation")
 		metricsOut = flag.String("metrics-out", "", "write the telemetry metrics registry as JSON to this path")
+		jsonOut    = flag.Bool("json", false, "single run: print the canonical GameRun JSON (the exact bytes libraserve's /v1/run returns for the same request) instead of the frame table")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM aborts at the next frame boundary instead of killing
+	// the process mid-frame.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	switch {
 	case *list:
 		printSuite()
 	case *experiment != "":
-		runExperiments(*experiment, *paper, *format, *jobs, *simWorkers, *resultDir, *traceOut, *metricsOut)
+		runExperiments(ctx, *experiment, *paper, *format, *jobs, *simWorkers, *resultDir, *traceOut, *metricsOut)
 	case *game != "":
-		singleRun(*game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *simWorkers, *heat, *screenshot, *traceOut, *metricsOut)
+		singleRun(ctx, *game, *policy, *rus, *cores, *frames, *screenW, *screenH, *l2kb, *simWorkers, *heat, *jsonOut, *screenshot, *traceOut, *metricsOut)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -100,7 +109,7 @@ func printSuite() {
 	}
 }
 
-func singleRun(game, policy string, rus, cores, frames, w, h, l2kb, simWorkers int, heat bool, screenshot, traceOut, metricsOut string) {
+func singleRun(ctx context.Context, game, policy string, rus, cores, frames, w, h, l2kb, simWorkers int, heat, jsonOut bool, screenshot, traceOut, metricsOut string) {
 	cfg := libra.DefaultConfig(w, h)
 	cfg.RasterUnits = rus
 	cfg.CoresPerRU = cores
@@ -117,19 +126,38 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb, simWorkers i
 		tr = telemetry.NewTrace(telemetry.TraceConfig{ClockHz: cfg.ClockHz})
 		run.SetRecorder(tr)
 	}
-	fmt.Printf("%s on %dx%d, %d RU x %d cores, policy=%s\n", game, w, h, rus, cores, policy)
+	if !jsonOut {
+		fmt.Printf("%s on %dx%d, %d RU x %d cores, policy=%s\n", game, w, h, rus, cores, policy)
+	}
 	var results []libra.FrameResult
 	for i := 0; i < frames; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "librasim: interrupted at frame boundary %d/%d\n", i, frames)
+			os.Exit(130)
+		}
 		f := run.RenderFrame()
 		results = append(results, f)
-		fmt.Printf("frame %2d: %9d cycles  %6.1f fps  order=%-11s st=%-2d texHit=%.3f texLat=%5.1f dram=%7d energy=%7.0fuJ\n",
-			f.Frame, f.TotalCycles, f.FPS, f.Order, f.Supertile, f.TexHitRatio, f.AvgTexLatency, f.DRAMAccesses, f.Energy.Total)
+		if !jsonOut {
+			fmt.Printf("frame %2d: %9d cycles  %6.1f fps  order=%-11s st=%-2d texHit=%.3f texLat=%5.1f dram=%7d energy=%7.0fuJ\n",
+				f.Frame, f.TotalCycles, f.FPS, f.Order, f.Supertile, f.TexHitRatio, f.AvgTexLatency, f.DRAMAccesses, f.Energy.Total)
+		}
 	}
 	warm := 2
 	if warm >= frames {
 		warm = 0
 	}
-	fmt.Println("summary:", libra.Summarize(results, warm))
+	if jsonOut {
+		// The canonical encoding: the same bytes libraserve's /v1/run
+		// returns for this (game, config, frames, warmup) request — the CI
+		// smoke test byte-diffs the two.
+		gr := &experiments.GameRun{Game: game, Frames: results, Summary: libra.Summarize(results, warm)}
+		if err := gr.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("summary:", libra.Summarize(results, warm))
+	}
 	if heat && len(results) > 0 {
 		fmt.Println("per-tile DRAM heatmap (last frame):")
 		fmt.Print(libra.HeatmapASCII(results[len(results)-1].TileDRAM))
@@ -146,7 +174,7 @@ func singleRun(game, policy string, rus, cores, frames, w, h, l2kb, simWorkers i
 	}
 }
 
-func runExperiments(id string, paper bool, format string, jobs, simWorkers int, resultDir, traceOut, metricsOut string) {
+func runExperiments(ctx context.Context, id string, paper bool, format string, jobs, simWorkers int, resultDir, traceOut, metricsOut string) {
 	p := experiments.DefaultParams()
 	if paper {
 		p = experiments.PaperParams()
@@ -154,6 +182,7 @@ func runExperiments(id string, paper bool, format string, jobs, simWorkers int, 
 	p.SimWorkers = simWorkers
 	r := experiments.NewRunner(p)
 	r.SetJobs(jobs)
+	r.SetContext(ctx)
 	if resultDir != "" {
 		st, err := resultstore.Open(resultDir)
 		if err != nil {
@@ -184,6 +213,21 @@ func runExperiments(id string, paper bool, format string, jobs, simWorkers int, 
 		})
 	}
 	all := r.Registry()
+	// The figure drivers use Run, which panics on failure — including a
+	// Ctrl-C cancellation surfacing at a frame boundary. Convert that one
+	// case back into a clean exit 130; real failures keep panicking.
+	runOne := func(fn func() *experiments.Result) *experiments.Result {
+		defer func() {
+			if p := recover(); p != nil {
+				if ctx.Err() != nil {
+					fmt.Fprintln(os.Stderr, "librasim: interrupted; completed simulations are in the result store")
+					os.Exit(130)
+				}
+				panic(p)
+			}
+		}()
+		return fn()
+	}
 	render := func(res *experiments.Result) {
 		switch format {
 		case "markdown":
@@ -202,7 +246,7 @@ func runExperiments(id string, paper bool, format string, jobs, simWorkers int, 
 	if id == "all" {
 		for _, k := range r.ExperimentIDs() {
 			start := time.Now()
-			render(all[k]())
+			render(runOne(all[k]))
 			if format == "table" {
 				fmt.Printf("   [%s took %v]\n\n", k, time.Since(start).Round(time.Millisecond))
 			}
@@ -213,7 +257,7 @@ func runExperiments(id string, paper bool, format string, jobs, simWorkers int, 
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(1)
 		}
-		render(fn())
+		render(runOne(fn))
 	}
 	if tr != nil {
 		writeTelemetry(tr, traceOut, metricsOut)

@@ -19,10 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	libra "repro"
 	"repro/internal/experiments"
@@ -78,6 +81,12 @@ func main() {
 		{"libra", withL2(libra.LIBRA(*screenW, *screenH, 2))},
 	}
 
+	// Ctrl-C / SIGTERM cancels the suite gracefully: in-flight simulations
+	// stop at their next frame boundary, finished ones are already persisted
+	// (with -result-dir), and a rerun resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// The runner supplies the in-memory singleflight cache and, when
 	// -result-dir is set, the persistent layer under it.
 	runner := experiments.NewRunner(experiments.Params{
@@ -85,6 +94,7 @@ func main() {
 		Frames: *frames, Warmup: *warmup,
 		L2KB: *l2kb, SimWorkers: *simWork,
 	})
+	runner.SetContext(ctx)
 	if *resultDir != "" {
 		st, err := resultstore.Open(*resultDir)
 		if err != nil {
@@ -148,6 +158,13 @@ func main() {
 		}
 		progw.Done()
 	})
+	if ctx.Err() != nil {
+		// Cancelled: flush the final progress state (the throttle may have
+		// swallowed the last Done) and exit with the conventional 130.
+		progw.Abort()
+		fmt.Fprintln(os.Stderr, "suite: interrupted; completed runs are in the result store")
+		os.Exit(130)
+	}
 	progw.Finish()
 	for gi := range games {
 		for ci := range configs {

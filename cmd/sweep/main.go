@@ -16,11 +16,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	libra "repro"
 	"repro/internal/experiments"
@@ -67,6 +70,12 @@ func main() {
 		points = append(points, v)
 	}
 
+	// Ctrl-C / SIGTERM cancels the sweep gracefully: every in-flight point
+	// stops at its next frame boundary, completed points are already in the
+	// store (if one is attached), and a rerun resumes from them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	// The runner supplies the in-memory singleflight cache and, when
 	// -result-dir is set, the persistent layer that lets an interrupted
 	// sweep resume from its completed points.
@@ -75,6 +84,7 @@ func main() {
 		Frames: *frames, Warmup: 2,
 		SimWorkers: *simWork,
 	})
+	runner.SetContext(ctx)
 	if *resultDir != "" {
 		st, err := resultstore.Open(*resultDir)
 		if err != nil {
@@ -122,6 +132,13 @@ func main() {
 		summaries[i] = run.Summary
 		progw.Done()
 	})
+	if ctx.Err() != nil {
+		// Cancelled: flush the final progress state (the throttle may have
+		// swallowed the last Done) and exit with the conventional 130.
+		progw.Abort()
+		fmt.Fprintln(os.Stderr, "sweep: interrupted; completed points are in the result store")
+		os.Exit(130)
+	}
 	progw.Finish()
 	for _, err := range errs {
 		if err != nil {

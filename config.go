@@ -149,10 +149,21 @@ func LIBRA(screenW, screenH, rasterUnits int) Config {
 	return cfg
 }
 
+// MaxScreenDim bounds each screen dimension accepted by Validate. The
+// largest evaluated configuration is FHD; 16384 leaves an order of magnitude
+// of headroom while keeping the framebuffer and per-tile tables allocatable,
+// so a hostile configuration (e.g. decoded from a network request) cannot
+// ask the simulator to allocate terabytes before higher layers ever see it.
+const MaxScreenDim = 16384
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.ScreenW <= 0 || c.ScreenH <= 0 {
 		return fmt.Errorf("libra: invalid screen %dx%d", c.ScreenW, c.ScreenH)
+	}
+	if c.ScreenW > MaxScreenDim || c.ScreenH > MaxScreenDim {
+		return fmt.Errorf("libra: screen %dx%d exceeds the %d-pixel dimension bound",
+			c.ScreenW, c.ScreenH, MaxScreenDim)
 	}
 	if c.RasterUnits < 1 || c.CoresPerRU < 1 {
 		return fmt.Errorf("libra: need at least one raster unit and core")

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	libra "repro"
+)
+
+// blockingSimulate returns a stub whose first call blocks until its context
+// is cancelled or release is closed; later calls succeed immediately. started
+// is closed once the first call is inside the stub.
+func blockingSimulate(started, release chan struct{}) func(context.Context, libra.Config, string) (*GameRun, error) {
+	var once sync.Once
+	return func(ctx context.Context, cfg libra.Config, game string) (*GameRun, error) {
+		first := false
+		once.Do(func() { first = true })
+		if !first {
+			return &GameRun{Game: game, Frames: []libra.FrameResult{{Frame: 0}}}, nil
+		}
+		close(started)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &GameRun{Game: game, Frames: []libra.FrameResult{{Frame: 0}}}, nil
+		}
+	}
+}
+
+// TestTryRunContextPreCancelled: an already-cancelled context never starts a
+// simulation, registers no flight, and returns the context's error.
+func TestTryRunContextPreCancelled(t *testing.T) {
+	r := NewRunner(storeParams())
+	called := false
+	r.SetSimulate(func(ctx context.Context, cfg libra.Config, game string) (*GameRun, error) {
+		called = true
+		return &GameRun{Game: game}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.TryRunContext(ctx, r.Baseline(), "Jet"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Error("cancelled context still executed a simulation")
+	}
+	if len(r.cache) != 0 {
+		t.Errorf("cancelled call left %d flights in the cache", len(r.cache))
+	}
+}
+
+// TestFollowerOwnCancelUnblocks: a follower whose own context is cancelled
+// returns immediately with its context error — it does not wait out the
+// leader, and the leader's flight is unaffected.
+func TestFollowerOwnCancelUnblocks(t *testing.T) {
+	r := NewRunner(storeParams())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	r.SetSimulate(blockingSimulate(started, release))
+	cfg := r.Baseline()
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := r.TryRunContext(context.Background(), cfg, "Jet")
+		leaderDone <- err
+	}()
+	<-started
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := r.TryRunContext(fctx, cfg, "Jet")
+		followerDone <- err
+	}()
+	// Give the follower a moment to join the flight, then cancel only it.
+	time.Sleep(10 * time.Millisecond)
+	fcancel()
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("follower err = %v, want context.Canceled", err)
+		}
+		if errors.Is(err, ErrLeaderFailed) {
+			t.Fatalf("follower's own cancellation misreported as a leader failure: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower did not unblock")
+	}
+
+	// The leader was not poisoned by the follower leaving.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v after follower cancellation", err)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonFollowers: when the leader's context is
+// cancelled mid-simulation, followers with live contexts are retried
+// transparently — one of them leads a fresh flight and succeeds. No caller
+// with a live context ever sees ErrLeaderFailed for a cancellation.
+func TestCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	r := NewRunner(storeParams())
+	started := make(chan struct{})
+	release := make(chan struct{}) // never closed: the leader only exits by cancellation
+	r.SetSimulate(blockingSimulate(started, release))
+	cfg := r.Baseline()
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := r.TryRunContext(lctx, cfg, "Jet")
+		leaderDone <- err
+	}()
+	<-started
+
+	const followers = 4
+	followerDone := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			run, err := r.TryRunContext(context.Background(), cfg, "Jet")
+			if err == nil && run == nil {
+				err = errors.New("nil run without error")
+			}
+			followerDone <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	lcancel()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	for i := 0; i < followers; i++ {
+		select {
+		case err := <-followerDone:
+			if err != nil {
+				t.Errorf("follower err = %v, want transparent retry success", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("follower never completed after leader cancellation")
+		}
+	}
+}
+
+// errAfterCtx is a deterministic mid-run cancellation: Err() stays nil for
+// the first limit reads and reports context.Canceled afterwards, so the
+// frame loop provably starts, renders real frames, takes the store writer
+// lock, and then aborts at a later frame boundary — no sleeps, no races.
+type errAfterCtx struct {
+	context.Context
+	mu    sync.Mutex
+	reads int
+	limit int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reads++
+	if c.reads > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelledRunPublishesNothing: a frame-boundary abort must leave the
+// persistent store untouched — no entry, no lingering writer lock — and a
+// later uncancelled run on the same key simulates fresh and publishes. The
+// counting context aborts the run after real frames have rendered and the
+// writer lock is held, the exact window where a buggy leader could leak a
+// partial entry.
+func TestCancelledRunPublishesNothing(t *testing.T) {
+	dir := t.TempDir()
+	r := storeRunner(t, dir)
+	r.P.Frames = 6 // long enough that the counting context aborts mid-run
+	// Err reads: one on flight entry, then one per frame boundary — limit 3
+	// lets two frames render before the abort.
+	ctx := &errAfterCtx{Context: context.Background(), limit: 3}
+	cfg := r.Baseline()
+	if _, err := r.TryRunContext(ctx, cfg, "Jet"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	stats, err := r.Store().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 0 || stats.Locks != 0 {
+		t.Fatalf("cancelled run left entries=%d locks=%d", stats.Entries, stats.Locks)
+	}
+	run, err := r.TryRunContext(context.Background(), cfg, "Jet")
+	if err != nil || len(run.Frames) == 0 {
+		t.Fatalf("retry after cancellation: run=%v err=%v", run, err)
+	}
+	if stats, _ := r.Store().Stats(); stats.Entries != 1 {
+		t.Fatalf("recovered run stored %d entries, want 1", stats.Entries)
+	}
+}
+
+// TestSetContextGovernsTryRun: Run/TryRun inherit the runner's base context,
+// the graceful-abort path of the figure drivers.
+func TestSetContextGovernsTryRun(t *testing.T) {
+	r := NewRunner(storeParams())
+	ctx, cancel := context.WithCancel(context.Background())
+	r.SetContext(ctx)
+	cancel()
+	if _, err := r.TryRun(r.Baseline(), "Jet"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TryRun under cancelled base context: err = %v", err)
+	}
+	r.SetContext(nil)
+	if _, err := r.TryRun(r.Baseline(), "Jet"); err != nil {
+		t.Fatalf("TryRun after detaching base context: %v", err)
+	}
+}
+
+// TestCancelAbortsWithinOneFrame: cancelling mid-simulation stops the real
+// frame loop at the next frame boundary — the runner comes back long before
+// the full frame budget is spent. The frame count is made absurdly large so
+// a missing boundary check would time the test out.
+func TestCancelAbortsWithinOneFrame(t *testing.T) {
+	p := storeParams()
+	p.Frames = 1 << 20 // far beyond any plausible test budget
+	r := NewRunner(p)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.TryRunContext(ctx, r.Baseline(), "Jet")
+		done <- err
+	}()
+	// Let at least one frame render, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not abort the frame loop at a frame boundary")
+	}
+	if r.Sims() != 0 {
+		t.Errorf("aborted simulation counted in Sims: %d", r.Sims())
+	}
+}

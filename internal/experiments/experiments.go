@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -83,9 +84,15 @@ type Runner struct {
 	// render, so any registered experiment can be traced.
 	telemetry func(cfg libra.Config, game string) telemetry.Recorder
 
+	// baseCtx, when non-nil, is the context the context-free entry points
+	// (Run/TryRun, and through them every figure driver) run under — see
+	// SetContext.
+	baseCtx context.Context
+
 	// simulate substitutes the real simulation in tests of the flight
-	// protocol (nil = libra.NewRun + RenderFrames).
-	simulate func(cfg libra.Config, game string) (*GameRun, error)
+	// protocol and service harnesses (nil = libra.NewRun +
+	// RenderFramesContext) — see SetSimulate.
+	simulate func(ctx context.Context, cfg libra.Config, game string) (*GameRun, error)
 }
 
 // flight is one cache slot: the leader closes done once run or err is set;
@@ -97,10 +104,18 @@ type flight struct {
 }
 
 // ErrLeaderFailed marks the error a follower receives when the leader it
-// raced onto failed (simulation error or panic). The failed flight is
-// dropped from the cache before followers are released, so a later call on
-// the same key elects a fresh leader and retries — followers that want the
-// retry themselves can match this sentinel with errors.Is and call again.
+// raced onto failed (simulation error, panic, or the leader's own context
+// being cancelled). The failed flight is dropped from the cache before
+// followers are released, so a later call on the same key elects a fresh
+// leader and retries — followers that want the retry themselves can match
+// this sentinel with errors.Is and call again.
+//
+// Cancellation extension: a leader abort must never poison its followers.
+// When the wrapped cause is a context error (the *leader* was cancelled, the
+// simulation itself did not fail), TryRunContext retries on the caller's
+// behalf as long as the caller's own context is live — so a follower only
+// ever observes ErrLeaderFailed for genuine simulation failures, and a
+// caller is never failed by a cancellation that was not its own.
 var ErrLeaderFailed = errors.New("experiments: leader simulation failed")
 
 // NewRunner builds a runner at the given scale with the default fan-out
@@ -135,10 +150,29 @@ func (r *Runner) SetTelemetry(f func(cfg libra.Config, game string) telemetry.Re
 	r.telemetry = f
 }
 
+// SetContext installs the context the context-free entry points (Run and
+// TryRun, and through them every figure/table driver) run under — the
+// graceful-abort hook for whole-sweep cancellation: cancel it and every
+// in-flight simulation stops at its next frame boundary. Pass nil to restore
+// context.Background(). Callers holding a per-request context use
+// TryRunContext directly instead.
+func (r *Runner) SetContext(ctx context.Context) { r.baseCtx = ctx }
+
+// SetSimulate substitutes the simulation a leader executes — the seam the
+// flight-protocol tests and the service test harnesses use to control
+// timing, inject failures, or honor cancellation without rendering real
+// frames. The stub must respect ctx if it blocks. Pass nil to restore the
+// real simulator. Stubs run under the same contract as real simulations:
+// successes are cached and published, failures never are.
+func (r *Runner) SetSimulate(f func(ctx context.Context, cfg libra.Config, game string) (*GameRun, error)) {
+	r.simulate = f
+}
+
 // Run simulates (or recalls) the given benchmark under cfg. Concurrent calls
 // with the same key execute the simulation exactly once. Run panics on
-// failure (unknown game, invalid config) — the figure and table drivers only
-// run vetted suite configurations; fallible callers use TryRun.
+// failure (unknown game, invalid config, base-context cancellation) — the
+// figure and table drivers only run vetted suite configurations; fallible
+// callers use TryRun or TryRunContext.
 func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
 	run, err := r.TryRun(cfg, game)
 	if err != nil {
@@ -147,20 +181,69 @@ func (r *Runner) Run(cfg libra.Config, game string) *GameRun {
 	return run
 }
 
-// TryRun simulates (or recalls) the given benchmark under cfg. Concurrent
-// calls with the same key execute the simulation exactly once: one caller
-// leads, the rest follow and share its result.
+// TryRun is TryRunContext under the runner's base context (see SetContext;
+// default context.Background()).
+func (r *Runner) TryRun(cfg libra.Config, game string) (*GameRun, error) {
+	ctx := r.baseCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return r.TryRunContext(ctx, cfg, game)
+}
+
+// TryRunContext simulates (or recalls) the given benchmark under cfg.
+// Concurrent calls with the same key execute the simulation exactly once:
+// one caller leads, the rest follow and share its result.
 //
 // Error contract: the leader receives the underlying error; every follower
 // of a failed leader receives an error matching ErrLeaderFailed (wrapping
 // the leader's). Failed flights are never cached — in memory or on disk —
 // so the next call on the key retries from scratch.
-func (r *Runner) TryRun(cfg libra.Config, game string) (*GameRun, error) {
+//
+// Cancellation contract: ctx is checked at every frame boundary, so a
+// cancelled call returns within one frame of work; partial results are
+// discarded, never cached, and never published to the store. A follower
+// whose own ctx is cancelled unblocks immediately with ctx.Err() (it does
+// not wait for the leader). A follower whose *leader* was cancelled is
+// retried transparently while its own ctx is live — one waiter's abort
+// never fails another (see ErrLeaderFailed).
+func (r *Runner) TryRunContext(ctx context.Context, cfg libra.Config, game string) (*GameRun, error) {
+	for {
+		run, err := r.runFlight(ctx, cfg, game)
+		if err != nil && ctx.Err() == nil &&
+			errors.Is(err, ErrLeaderFailed) && isContextError(err) {
+			// The leader aborted on its own context, not on a simulation
+			// failure; the failed flight is already dropped, so retrying
+			// elects a fresh leader (possibly this caller).
+			continue
+		}
+		return run, err
+	}
+}
+
+// isContextError reports whether err wraps a context cancellation cause.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runFlight runs one iteration of the singleflight protocol: join an
+// existing flight as a follower, or lead a new one.
+func (r *Runner) runFlight(ctx context.Context, cfg libra.Config, game string) (*GameRun, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := fmt.Sprintf("%s|%+v", game, cfg)
 	r.mu.Lock()
 	if f, ok := r.cache[key]; ok {
 		r.mu.Unlock()
-		<-f.done // follower: wait for the leader's result
+		// Follower: wait for the leader's result — or this caller's own
+		// cancellation, whichever comes first. Leaving early is safe: the
+		// flight (and its leader) belongs to the runner, not this waiter.
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		if f.err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrLeaderFailed, f.err)
 		}
@@ -172,9 +255,10 @@ func (r *Runner) TryRun(cfg libra.Config, game string) (*GameRun, error) {
 
 	// Leader: simulate (consulting the persistent store first, if one is
 	// attached), publish, release the followers. Failures — including
-	// panics, which lead converts to errors — drop the slot before done is
-	// closed, so no later call can join or cache a failed flight.
-	f.run, f.err = r.lead(cfg, game)
+	// panics, which lead converts to errors, and cancellations — drop the
+	// slot before done is closed, so no later call can join or cache a
+	// failed flight.
+	f.run, f.err = r.lead(ctx, cfg, game)
 	if f.err != nil {
 		r.mu.Lock()
 		delete(r.cache, key)
@@ -186,8 +270,10 @@ func (r *Runner) TryRun(cfg libra.Config, game string) (*GameRun, error) {
 
 // lead executes a flight's simulation, layering the persistent store (when
 // attached) under the in-memory cache. A panic in the simulator is converted
-// to an error so the flight protocol has a single failure path.
-func (r *Runner) lead(cfg libra.Config, game string) (gr *GameRun, err error) {
+// to an error so the flight protocol has a single failure path. An error
+// return — including a frame-boundary cancellation — publishes nothing: the
+// store only ever sees complete, successful frame sequences.
+func (r *Runner) lead(ctx context.Context, cfg libra.Config, game string) (gr *GameRun, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			gr, err = nil, fmt.Errorf("experiments: simulation panicked: %v", p)
@@ -216,7 +302,7 @@ func (r *Runner) lead(cfg libra.Config, game string) (gr *GameRun, err error) {
 			}
 		}
 	}
-	gr, err = r.execute(cfg, game)
+	gr, err = r.execute(ctx, cfg, game)
 	if err != nil {
 		return nil, err
 	}
@@ -230,10 +316,12 @@ func (r *Runner) lead(cfg libra.Config, game string) (gr *GameRun, err error) {
 	return gr, nil
 }
 
-// execute performs the actual simulation (or the test stub).
-func (r *Runner) execute(cfg libra.Config, game string) (*GameRun, error) {
+// execute performs the actual simulation (or the test stub), honoring ctx at
+// frame boundaries: a cancelled simulation returns ctx's error within one
+// frame of work and its partial frames are discarded.
+func (r *Runner) execute(ctx context.Context, cfg libra.Config, game string) (*GameRun, error) {
 	if r.simulate != nil {
-		return r.simulate(cfg, game)
+		return r.simulate(ctx, cfg, game)
 	}
 	run, err := libra.NewRun(cfg, game)
 	if err != nil {
@@ -244,7 +332,10 @@ func (r *Runner) execute(cfg libra.Config, game string) (*GameRun, error) {
 			run.SetRecorder(rec)
 		}
 	}
-	frames := run.RenderFrames(r.P.Frames)
+	frames, err := run.RenderFramesContext(ctx, r.P.Frames)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	r.sims.Add(1)
 	r.progress.Done()
 	return &GameRun{Game: game, Frames: frames, Summary: libra.Summarize(frames, r.P.Warmup)}, nil

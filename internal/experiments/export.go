@@ -3,8 +3,19 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 )
+
+// WriteJSON writes the canonical JSON encoding of a GameRun: one compact
+// object, newline-terminated. Every producer of GameRun JSON — the
+// /v1/run endpoint of cmd/libraserve and the -json mode of cmd/librasim —
+// goes through this single encoder, so "determinism over HTTP" is checkable
+// with a byte diff: the service response for a configuration must equal the
+// direct simulator run of the same configuration, byte for byte.
+func (g *GameRun) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(g)
+}
 
 // JSON serializes the result for downstream tooling (plotting, CI diffs).
 func (res *Result) JSON() ([]byte, error) {

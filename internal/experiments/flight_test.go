@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -20,7 +21,7 @@ func TestFollowerErrorContract(t *testing.T) {
 	release := make(chan struct{})  // closed to let the leader fail
 	calls := 0
 	var callsMu sync.Mutex
-	r.simulate = func(cfg libra.Config, game string) (*GameRun, error) {
+	r.simulate = func(_ context.Context, cfg libra.Config, game string) (*GameRun, error) {
 		callsMu.Lock()
 		calls++
 		first := calls == 1
@@ -88,7 +89,7 @@ func TestFollowerErrorContract(t *testing.T) {
 func TestPanicBecomesError(t *testing.T) {
 	r := NewRunner(storeParams())
 	first := true
-	r.simulate = func(cfg libra.Config, game string) (*GameRun, error) {
+	r.simulate = func(_ context.Context, cfg libra.Config, game string) (*GameRun, error) {
 		if first {
 			first = false
 			panic("boom")
@@ -109,7 +110,7 @@ func TestPanicBecomesError(t *testing.T) {
 // figure drivers; it must convert TryRun errors to panics.
 func TestRunPanicsOnFailure(t *testing.T) {
 	r := NewRunner(storeParams())
-	r.simulate = func(cfg libra.Config, game string) (*GameRun, error) {
+	r.simulate = func(_ context.Context, cfg libra.Config, game string) (*GameRun, error) {
 		return nil, errors.New("nope")
 	}
 	defer func() {
@@ -126,7 +127,7 @@ func TestFailedLeaderPublishesNothing(t *testing.T) {
 	dir := t.TempDir()
 	r := storeRunner(t, dir)
 	fail := true
-	r.simulate = func(cfg libra.Config, game string) (*GameRun, error) {
+	r.simulate = func(_ context.Context, cfg libra.Config, game string) (*GameRun, error) {
 		if fail {
 			return nil, fmt.Errorf("transient failure")
 		}

@@ -87,6 +87,22 @@ func (p *Progress) Finish() {
 		p.now().Sub(p.start).Round(time.Millisecond))
 }
 
+// Abort terminates the status line of a cancelled run. The throttled Done
+// path may have swallowed the latest counts and the computed ETA is about a
+// future that will not happen, so without this final flush an aborted run
+// leaves a stale, unterminated progress line — Abort replaces it with the
+// jobs actually completed and the elapsed time, newline-terminated so
+// whatever the caller prints next starts clean.
+func (p *Progress) Abort() {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "\r%s aborted at %d/%d after %s\n", p.label, p.done, p.total,
+		p.now().Sub(p.start).Round(time.Millisecond))
+}
+
 // now reads the injected clock, tolerating a zero-value struct (no clock).
 func (p *Progress) now() time.Time {
 	if p.clock == nil {

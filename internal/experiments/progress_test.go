@@ -120,6 +120,38 @@ func TestProgressZeroDuration(t *testing.T) {
 	}
 }
 
+// TestProgressAbortFakeClock: an aborted run must flush a final line with
+// the jobs actually completed and the elapsed time — the regression for the
+// stale unterminated status line a cancelled sweep used to leave behind
+// (the throttle can swallow the latest Done, and the computed ETA describes
+// work that will never happen).
+func TestProgressAbortFakeClock(t *testing.T) {
+	var b strings.Builder
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgressWithClock(&b, "sweep", 8, fc)
+	fc.Advance(time.Second)
+	p.Done() // prints 1/8 with an 7s ETA
+	fc.Advance(time.Millisecond)
+	p.Done() // throttled: the 2/8 state is never printed...
+	fc.Advance(500 * time.Millisecond)
+	p.Abort() // ...so the abort line must carry it
+	out := b.String()
+	if !strings.Contains(out, "sweep aborted at 2/8 after 1.501s") {
+		t.Errorf("abort line missing or wrong, got %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("abort line must be newline-terminated, got %q", out)
+	}
+}
+
+// TestProgressAbortNilIsNoOp: nil and zero-value reporters tolerate Abort
+// like they tolerate Done and Finish.
+func TestProgressAbortNilIsNoOp(t *testing.T) {
+	var p *Progress
+	p.Abort()
+	(&Progress{}).Abort()
+}
+
 // TestProgressOverDone clamps the percentage when Done is called more times
 // than total (a misconfigured caller must not print >100%).
 func TestProgressOverDone(t *testing.T) {

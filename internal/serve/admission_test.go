@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdmissionBounds is the property test behind the limiter's doc
+// invariants: under a seeded random storm of acquire/hold/release from many
+// goroutines, the observed in-flight count never exceeds MaxInFlight, the
+// queue depth never exceeds MaxQueue, and every attempt is accounted exactly
+// once as admitted, rejected or aborted.
+func TestAdmissionBounds(t *testing.T) {
+	const (
+		maxInFlight = 3
+		maxQueue    = 5
+		goroutines  = 24
+		attempts    = 200
+	)
+	a := NewAdmission(maxInFlight, maxQueue)
+	var (
+		wg         sync.WaitGroup
+		maxSeen    atomic.Int64
+		queueSeen  atomic.Int64
+		admitted   atomic.Int64
+		rejected   atomic.Int64
+		aborted    atomic.Int64
+		inFlightMu sync.Mutex
+		inFlight   int64
+	)
+	observe := func(v *atomic.Int64, n int64) {
+		for {
+			old := v.Load()
+			if n <= old || v.CompareAndSwap(old, n) {
+				return
+			}
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < attempts; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Intn(4) == 0 {
+					// A quarter of attempts carry a deadline short enough to
+					// abort while queued under contention.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(50))*time.Microsecond)
+				}
+				release, err := a.Acquire(ctx)
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					inFlightMu.Lock()
+					inFlight++
+					observe(&maxSeen, inFlight)
+					inFlightMu.Unlock()
+					if rng.Intn(2) == 0 {
+						time.Sleep(time.Duration(rng.Intn(20)) * time.Microsecond)
+					}
+					inFlightMu.Lock()
+					inFlight--
+					inFlightMu.Unlock()
+					release()
+				case errors.Is(err, ErrQueueFull):
+					rejected.Add(1)
+				case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+					aborted.Add(1)
+				default:
+					t.Errorf("unexpected Acquire error: %v", err)
+					return
+				}
+				observe(&queueSeen, a.Waiting())
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+
+	if got := maxSeen.Load(); got > maxInFlight {
+		t.Errorf("observed %d concurrent holders, bound is %d", got, maxInFlight)
+	}
+	if got := queueSeen.Load(); got > maxQueue {
+		t.Errorf("observed queue depth %d, bound is %d", got, maxQueue)
+	}
+	total := admitted.Load() + rejected.Load() + aborted.Load()
+	if want := int64(goroutines * attempts); total != want {
+		t.Errorf("attempts accounted = %d, want %d", total, want)
+	}
+	if a.Admitted() != admitted.Load() || a.Rejected() != rejected.Load() || a.Aborted() != aborted.Load() {
+		t.Errorf("limiter counters (admitted=%d rejected=%d aborted=%d) disagree with the callers' (%d/%d/%d)",
+			a.Admitted(), a.Rejected(), a.Aborted(), admitted.Load(), rejected.Load(), aborted.Load())
+	}
+	if a.InFlight() != 0 || a.Waiting() != 0 {
+		t.Errorf("limiter not drained: in-flight=%d waiting=%d", a.InFlight(), a.Waiting())
+	}
+}
+
+// TestAdmissionRejectsBeyondQueue: with the slot held and the queue full, the
+// next Acquire fails fast with ErrQueueFull — it must not block.
+func TestAdmissionRejectsBeyondQueue(t *testing.T) {
+	a := NewAdmission(1, 2)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan func(), 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := a.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued acquire failed: %v", err)
+			}
+			queued <- r
+		}()
+	}
+	waitFor(t, func() bool { return a.Waiting() == 2 })
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(context.Background())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("over-queue acquire: err = %v, want ErrQueueFull", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("over-queue acquire blocked; want immediate rejection")
+	}
+
+	release()
+	(<-queued)()
+	(<-queued)()
+	if a.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after full release", a.InFlight())
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a queued caller whose context is cancelled
+// unblocks with the context's error and frees its queue slot.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.Waiting() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: err = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return a.Waiting() == 0 })
+	if a.Aborted() != 1 {
+		t.Errorf("aborted = %d, want 1", a.Aborted())
+	}
+}
+
+// TestAdmissionReleaseIdempotent: double release must not free two slots.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(1, 1)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // no-op, not a second slot
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after double release, want 0", got)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2()
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("in-flight = %d after re-acquire, want 1", got)
+	}
+}
+
+// TestAdmissionFastPath: while slots are free, concurrent acquires are never
+// rejected regardless of how small the queue bound is.
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(8, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("fast-path acquire rejected: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	if a.Rejected() != 0 {
+		t.Errorf("rejected = %d with free slots, want 0", a.Rejected())
+	}
+}
+
+// TestAdmissionClamps: non-positive bounds become 1, keeping Acquire usable.
+func TestAdmissionClamps(t *testing.T) {
+	a := NewAdmission(0, -3)
+	if a.MaxInFlight() != 1 || a.MaxQueue() != 1 {
+		t.Fatalf("bounds = (%d, %d), want (1, 1)", a.MaxInFlight(), a.MaxQueue())
+	}
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+// waitFor polls cond with a generous timeout — the tests only use it for
+// states guaranteed to be reached, never as a synchronization primitive.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 10s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

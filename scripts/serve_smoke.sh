@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end gate for the simulation service, run identically
+# by `make serve-smoke` and the CI serve-smoke job:
+#
+#   1. boot libraserve against a fresh temp result store
+#   2. cold loadgen pass populates the store
+#   3. graceful SIGTERM drain must exit 0
+#   4. a restarted server must answer a warm 1000-client loadgen pass from the
+#      store alone (sims=0)
+#   5. the HTTP response body must be byte-identical to a direct
+#      `librasim -json` run of the same request (determinism over HTTP), and
+#      stable across the restart
+#   6. a client-side-cancelled request must abort without corrupting the
+#      store (verified with `resultstore verify`)
+set -euo pipefail
+
+GO=${GO:-go}
+TMP=$(mktemp -d /tmp/libra-serve-smoke.XXXXXX)
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# 1000 concurrent clients need 1000 sockets on each side.
+ulimit -n 4096 2>/dev/null || true
+
+"$GO" build -o "$TMP/bin/" ./cmd/libraserve ./cmd/loadgen ./cmd/librasim ./cmd/resultstore
+
+start_server() {
+    rm -f "$TMP/addr"
+    "$TMP/bin/libraserve" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+        -result-dir "$TMP/store" -max-queue 2048 2>>"$TMP/server.log" &
+    SRV_PID=$!
+    for _ in $(seq 100); do
+        [ -s "$TMP/addr" ] && return 0
+        sleep 0.1
+    done
+    echo "serve-smoke: server did not write $TMP/addr" >&2
+    exit 1
+}
+
+stop_server() {
+    kill -TERM "$SRV_PID"
+    wait "$SRV_PID"
+    SRV_PID=""
+}
+
+echo "== cold pass (populates the store) =="
+start_server
+"$TMP/bin/loadgen" -addr-file "$TMP/addr" -clients 32 -requests 128 -o "$TMP/cold.json"
+"$TMP/bin/loadgen" -addr-file "$TMP/addr" -probe -game Jet -frames 2 -warmup 0 > "$TMP/http-cold.json"
+
+echo "== graceful drain (SIGTERM must exit 0) =="
+stop_server
+
+echo "== warm pass (restarted server, 1000 clients, zero simulations) =="
+start_server
+"$TMP/bin/loadgen" -addr-file "$TMP/addr" -clients 1000 -requests 2000 -max-sims 0 -o "$TMP/warm.json"
+
+echo "== determinism over HTTP (byte-diff vs librasim -json) =="
+"$TMP/bin/loadgen" -addr-file "$TMP/addr" -probe -game Jet -frames 2 -warmup 0 > "$TMP/http-warm.json"
+"$TMP/bin/librasim" -json -game Jet -frames 2 -w 64 -h 64 -rus 1 -cores 2 -l2kb 0 -policy libra > "$TMP/direct.json"
+cmp "$TMP/http-warm.json" "$TMP/direct.json"
+cmp "$TMP/http-cold.json" "$TMP/http-warm.json"
+
+echo "== cancellation drill (abort mid-run, store must stay clean) =="
+# A cold key big enough that the 50ms client deadline fires mid-simulation;
+# the server aborts at a frame boundary and publishes nothing.
+"$TMP/bin/loadgen" -addr-file "$TMP/addr" -probe -game Jet -frames 200 -probe-timeout 50ms > /dev/null
+stop_server
+"$TMP/bin/resultstore" -dir "$TMP/store" verify
+
+echo "serve-smoke: OK"

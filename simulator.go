@@ -1,6 +1,7 @@
 package libra
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -100,11 +101,26 @@ func (r *Run) RenderFrame() FrameResult {
 
 // RenderFrames renders n frames and returns all results.
 func (r *Run) RenderFrames(n int) []FrameResult {
+	out, _ := r.RenderFramesContext(context.Background(), n)
+	return out
+}
+
+// RenderFramesContext renders up to n frames, checking ctx at every frame
+// boundary: cancellation aborts before the next frame starts, returning the
+// frames already rendered together with an error wrapping ctx.Err(). A frame
+// in flight always completes — frames are the simulator's atomic unit, so a
+// cancelled call never leaves the run (caches, DRAM state, the adaptive
+// controller) mid-frame, and rendering may resume afterwards. The error is
+// nil exactly when all n frames rendered.
+func (r *Run) RenderFramesContext(ctx context.Context, n int) ([]FrameResult, error) {
 	out := make([]FrameResult, 0, n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("libra: render aborted at frame boundary %d/%d: %w", i, n, err)
+		}
 		out = append(out, r.RenderFrame())
 	}
-	return out
+	return out, nil
 }
 
 // FramePixels returns the last rendered frame's pixels (ARGB), row-major.
