@@ -15,7 +15,7 @@ RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/
 # coverage job.
 COVERAGE_MIN ?= 73.5
 
-.PHONY: build test race fmt vet lint bench bench-json bench-gate bench-gate-update cover determinism trace-smoke store-smoke serve-smoke fuzz ci
+.PHONY: build test race fmt vet lint lint-fix-check bench bench-json bench-gate bench-gate-update cover determinism trace-smoke store-smoke serve-smoke fuzz ci
 
 build:
 	$(GO) build $(PKGS)
@@ -35,11 +35,19 @@ fmt:
 vet:
 	$(GO) vet $(PKGS)
 
-# Determinism/telemetry invariants, enforced by the in-repo analyzer suite
-# (cmd/libralint: detlint, telemetrylint, seedlint — see DESIGN.md §8).
-# Suppressions live in libralint.allow; stale entries fail the run.
+# Machine-checked contracts, enforced by the in-repo analyzer suite
+# (cmd/libralint: detlint, telemetrylint, seedlint, alloclint, retainlint,
+# ctxlint — see DESIGN.md §13). Suppressions live in libralint.allow; stale
+# entries fail the run. `-analyzer a,b` runs a subset.
 lint:
 	$(GO) run ./cmd/libralint $(PKGS)
+
+# Allowlist hygiene gate: the suppression file must be exactly the reviewed
+# set (TestAllowlistIsMinimal pins every entry), the repo must lint clean
+# through the library path, and the hot-path closure must still cover every
+# AllocsPerRun==0-gated function.
+lint-fix-check:
+	$(GO) test -count=1 -run 'TestRepoIsLintClean|TestAllowlistIsMinimal|TestHotPathSetCoversAllocGates' ./internal/analysis
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -timeout 0 $(PKGS)
@@ -122,4 +130,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzResultKey -fuzztime 15s ./internal/experiments
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRunRequest -fuzztime 15s ./internal/serve
 
-ci: build vet fmt lint test race bench bench-gate determinism trace-smoke store-smoke serve-smoke fuzz cover
+ci: build vet fmt lint lint-fix-check test race bench bench-gate determinism trace-smoke store-smoke serve-smoke fuzz cover

@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	libralint [-json] [-allow file] [packages]
+//	libralint [-json] [-allow file] [-analyzer a,b,...] [packages]
 //
 // The package argument is accepted for CLI symmetry with go vet; analysis
 // always loads the whole module (cross-package types are needed anyway) and
 // a `./...` or absolute/relative directory argument narrows which packages'
-// diagnostics are reported. Exit status: 0 clean, 1 diagnostics, 2 usage or
-// load error.
+// diagnostics are reported. -analyzer runs a comma-separated subset of the
+// suite (allowlist staleness is then only checked for those analyzers).
+// Exit status: 0 clean, 1 diagnostics, 2 usage or load error.
 package main
 
 import (
@@ -36,8 +37,29 @@ func run(args []string, stdout, stderr io.Writer, dir string) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	allowPath := fs.String("allow", "", "allowlist file (default <module root>/libralint.allow)")
+	analyzerSel := fs.String("analyzer", "", "comma-separated analyzer subset to run (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	analyzers := analysis.Analyzers()
+	if *analyzerSel != "" {
+		byName := make(map[string]*analysis.Analyzer, len(analyzers))
+		var names []string
+		for _, a := range analyzers {
+			byName[a.Name] = a
+			names = append(names, a.Name)
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*analyzerSel, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "libralint: unknown analyzer %q (have %s)\n", name, strings.Join(names, ", "))
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
 	}
 
 	root, err := analysis.FindModuleRoot(dir)
@@ -60,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer, dir string) int {
 		return 2
 	}
 
-	diags := analysis.RunModule(mod, analysis.Analyzers(), allow)
+	diags := analysis.RunModule(mod, analyzers, allow)
 	diags = filterByPatterns(diags, fs.Args(), root, dir)
 
 	if *jsonOut {

@@ -2,9 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
 
 // TestRunCleanRepo mirrors the CI invocation: the repository must lint clean
 // through the real CLI path (module load, allowlist, pattern filter).
@@ -47,5 +52,63 @@ func TestRunBadFlag(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb, "."); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRunAnalyzerSubset: -analyzer runs only the named analyzers, and the
+// allowlist's other entries are not misreported as stale.
+func TestRunAnalyzerSubset(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-analyzer", "seedlint,ctxlint", "./..."}, &out, &errb, "."); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestRunUnknownAnalyzer: a typo in -analyzer is a usage error, not a silent
+// no-op lint pass.
+func TestRunUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-analyzer", "allockint"}, &out, &errb, "."); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr should name the unknown analyzer, got:\n%s", errb.String())
+	}
+}
+
+// TestRunViolationsExitOne: with the allowlist disabled, the repo's reviewed
+// suppressions surface as diagnostics — exit 1, and every line names its
+// analyzer so CI logs are self-explanatory.
+func TestRunViolationsExitOne(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-allow", "/dev/null"}, &out, &errb, "."); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("expected diagnostics on stdout")
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "detlint:") && !strings.Contains(line, "retainlint:") &&
+			!strings.Contains(line, "ctxlint:") && !strings.Contains(line, "allowlist:") {
+			t.Errorf("diagnostic line does not name its analyzer: %q", line)
+		}
+	}
+}
+
+// TestRunStaleAllowlist: an entry that suppresses nothing is itself a
+// diagnostic (exit 1), so fixed violations force their entries out.
+func TestRunStaleAllowlist(t *testing.T) {
+	dir := t.TempDir()
+	allow := dir + "/stale.allow"
+	if err := writeFile(allow, "detlint internal/sched:sched.go\n"); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-allow", allow}, &out, &errb, "."); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "stale entry") {
+		t.Errorf("expected a stale-entry diagnostic, got:\n%s", out.String())
 	}
 }

@@ -49,7 +49,9 @@ func main() {
 	flag.Parse()
 	logger := log.New(os.Stderr, "libraserve: ", log.LstdFlags)
 
-	srv, err := serve.NewServer(serve.Config{
+	// The server's base context is NOT the signal context: SIGTERM must drain
+	// gracefully first, and only the drain-budget expiry aborts simulations.
+	srv, err := serve.NewServer(context.Background(), serve.Config{
 		ResultDir:      *resultDir,
 		SimWorkers:     *simWorkers,
 		MaxInFlight:    *maxInFlight,

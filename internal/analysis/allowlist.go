@@ -100,13 +100,21 @@ func (al *Allowlist) Filter(diags []Diagnostic) []Diagnostic {
 
 // Stale returns one diagnostic per entry that suppressed nothing, so a fixed
 // violation forces its allowlist line to be deleted in the same change.
-func (al *Allowlist) Stale() []Diagnostic {
+func (al *Allowlist) Stale() []Diagnostic { return al.StaleFor(nil) }
+
+// StaleFor is Stale restricted to entries belonging to the analyzers in ran
+// (nil means all): a `-analyzer` subset run must not misreport entries whose
+// analyzer never executed.
+func (al *Allowlist) StaleFor(ran map[string]bool) []Diagnostic {
 	if al == nil {
 		return nil
 	}
 	var diags []Diagnostic
 	for _, e := range al.Entries {
 		if e.used {
+			continue
+		}
+		if ran != nil && !ran[e.Analyzer] {
 			continue
 		}
 		pos := token.Position{Filename: al.Source, Line: e.Line, Column: 1}

@@ -1,14 +1,24 @@
 // Package analysis is libralint's engine: a pure-stdlib static-analysis
-// driver (go/parser + go/ast + go/types with the source importer) plus the
-// three domain analyzers that turn the simulator's determinism guarantees
-// from convention into compile-time law:
+// driver (go/parser + go/ast + go/types with the source importer), a
+// lightweight per-function CFG/dataflow layer (cfg.go), and the six domain
+// analyzers that turn the simulator's determinism, performance, and
+// cancellation guarantees from convention into compile-time law:
 //
 //   - detlint       — no wall clock, no global rand, no float equality, no
 //     order-sensitive map iteration in deterministic packages
 //   - telemetrylint — every telemetry emit on a hot path is dominated by a
-//     nil-guard, preserving the one-branch zero-alloc disabled path
+//     nil-guard (or an annotated never-nil source), preserving the
+//     one-branch zero-alloc disabled path
 //   - seedlint      — every rand.NewSource argument derives from a
 //     configured seed, never a wall-clock or address-derived value
+//   - alloclint     — //libra:hotpath functions (and everything reachable
+//     from them) contain no allocation-inducing constructs outside guarded
+//     cold paths: the compile-time twin of the AllocsPerRun==0 tests
+//   - retainlint    — //libra:transient results ("valid until next call")
+//     are never retained in fields/globals/maps/channels/goroutines unless
+//     the stored value is a .Clone()
+//   - ctxlint       — blocking loops observe ctx, context.Background stays
+//     in cmd/ mains and tests, and ctx is always the first parameter
 //
 // The driver deliberately has no dependency on golang.org/x/tools: go.mod
 // stays empty, and the suite runs anywhere the Go toolchain exists.
@@ -44,6 +54,11 @@ type Pass struct {
 	// the package as having. It normally equals Pkg.RelPath; the golden
 	// harness overrides it so fixture packages exercise path-scoped rules.
 	RelPath string
+	// Mod is the module the package was loaded against. Cross-package
+	// analyzers (alloclint's call graph, retainlint's producer registry)
+	// read annotations from every module package through it. It may be nil
+	// in minimal tests; analyzers must tolerate that.
+	Mod *Module
 
 	diags *[]Diagnostic
 	name  string
@@ -74,17 +89,21 @@ type Analyzer struct {
 
 // Analyzers returns the full libralint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detlint(), Telemetrylint(), Seedlint()}
+	return []*Analyzer{
+		Detlint(), Telemetrylint(), Seedlint(),
+		Alloclint(), Retainlint(), Ctxlint(),
+	}
 }
 
 // RunPackage applies one analyzer to one package (honouring Applies) and
-// returns its findings.
-func RunPackage(a *Analyzer, pkg *Package, relPath string) []Diagnostic {
+// returns its findings. m is the module the package was loaded against and
+// may be nil for self-contained analyzers.
+func RunPackage(m *Module, a *Analyzer, pkg *Package, relPath string) []Diagnostic {
 	if a.Applies != nil && !a.Applies(relPath) {
 		return nil
 	}
 	var diags []Diagnostic
-	a.Run(&Pass{Pkg: pkg, RelPath: relPath, diags: &diags, name: a.Name})
+	a.Run(&Pass{Pkg: pkg, RelPath: relPath, Mod: m, diags: &diags, name: a.Name})
 	sortDiagnostics(diags)
 	return diags
 }
@@ -92,11 +111,13 @@ func RunPackage(a *Analyzer, pkg *Package, relPath string) []Diagnostic {
 // RunModule applies every analyzer to every package of a loaded module,
 // filters the result through the allowlist, and appends one diagnostic per
 // stale (unused) allowlist entry so the allowlist can never silently rot.
+// Staleness only considers entries belonging to the analyzers actually run,
+// so a `-analyzer` subset run does not misreport the others' entries.
 func RunModule(m *Module, analyzers []*Analyzer, allow *Allowlist) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range m.Packages {
 		for _, a := range analyzers {
-			diags = append(diags, RunPackage(a, pkg, pkg.RelPath)...)
+			diags = append(diags, RunPackage(m, a, pkg, pkg.RelPath)...)
 		}
 	}
 	// Report (and allowlist-match) module-relative paths: stable across
@@ -106,8 +127,12 @@ func RunModule(m *Module, analyzers []*Analyzer, allow *Allowlist) []Diagnostic 
 			diags[i].File = filepath.ToSlash(rel)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	diags = allow.Filter(diags)
-	diags = append(diags, allow.Stale()...)
+	diags = append(diags, allow.StaleFor(ran)...)
 	sortDiagnostics(diags)
 	return diags
 }

@@ -1,0 +1,190 @@
+package analysis
+
+// Annotation scanning and the hot-path call graph.
+//
+// Contracts are declared in source with `//libra:` marker comments:
+//
+//	//libra:hotpath    on a function: the function is part of the
+//	                   steady-state frame loop; alloclint checks it and
+//	                   everything reachable from it.
+//	//libra:transient  on a function: its results (and the pointees of its
+//	                   pointer arguments) are valid only until the next call —
+//	                   retainlint tracks them. On a struct field: reading the
+//	                   field yields such a transient value.
+//	//libra:nonnil     on a struct field or a method: the field/result is
+//	                   never nil once constructed — telemetrylint accepts it
+//	                   as an emit receiver without a dominating guard.
+//
+// The hot-path set is the reachability closure over the static call graph
+// (types.Info-resolved direct calls; interface calls are dead ends) from the
+// annotated roots, restricted at flag time to the alloc-checked packages.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation markers.
+const (
+	AnnotHotPath   = "libra:hotpath"
+	AnnotTransient = "libra:transient"
+	AnnotNonNil    = "libra:nonnil"
+)
+
+// hasAnnotation reports whether a comment group carries the marker.
+func hasAnnotation(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// contracts is the module-wide annotation registry plus the function-decl
+// index the call graph needs. It is rebuilt per analyzed package; the scan is
+// a shallow top-level walk, cheap relative to type checking.
+type contracts struct {
+	// decls maps every module function object to its declaration.
+	decls map[*types.Func]*ast.FuncDecl
+	// infos maps each declared function to its package's type info, needed
+	// to resolve identifier uses inside its body.
+	infos map[*types.Func]*types.Info
+	// hotRoots are //libra:hotpath functions.
+	hotRoots []*types.Func
+	// transientFuncs return (or fill via pointer args) transient storage.
+	transientFuncs map[*types.Func]bool
+	// transientFields are struct fields holding transient storage.
+	transientFields map[*types.Var]bool
+	// nonNilFuncs / nonNilFields are never-nil telemetry sources.
+	nonNilFuncs  map[*types.Func]bool
+	nonNilFields map[*types.Var]bool
+}
+
+// collectContracts scans the module's packages — plus pkg, when it is a
+// fixture package loaded against the module rather than part of it — for
+// annotation markers and function declarations.
+func collectContracts(m *Module, pkg *Package) *contracts {
+	c := &contracts{
+		decls:           make(map[*types.Func]*ast.FuncDecl),
+		infos:           make(map[*types.Func]*types.Info),
+		transientFuncs:  make(map[*types.Func]bool),
+		transientFields: make(map[*types.Var]bool),
+		nonNilFuncs:     make(map[*types.Func]bool),
+		nonNilFields:    make(map[*types.Var]bool),
+	}
+	seen := false
+	if m != nil {
+		for _, p := range m.Packages {
+			c.scanPackage(p)
+			if p == pkg {
+				seen = true
+			}
+		}
+	}
+	if pkg != nil && !seen {
+		c.scanPackage(pkg)
+	}
+	return c
+}
+
+func (c *contracts) scanPackage(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj, ok := p.Info.Defs[d.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				c.decls[obj] = d
+				c.infos[obj] = p.Info
+				if hasAnnotation(d.Doc, AnnotHotPath) {
+					c.hotRoots = append(c.hotRoots, obj)
+				}
+				if hasAnnotation(d.Doc, AnnotTransient) {
+					c.transientFuncs[obj] = true
+				}
+				if hasAnnotation(d.Doc, AnnotNonNil) {
+					c.nonNilFuncs[obj] = true
+				}
+			case *ast.GenDecl:
+				c.scanFields(p, d)
+			}
+		}
+	}
+}
+
+// scanFields picks up //libra:transient and //libra:nonnil struct-field
+// annotations (doc comment or trailing line comment).
+func (c *contracts) scanFields(p *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			transient := hasAnnotation(field.Doc, AnnotTransient) || hasAnnotation(field.Comment, AnnotTransient)
+			nonnil := hasAnnotation(field.Doc, AnnotNonNil) || hasAnnotation(field.Comment, AnnotNonNil)
+			if !transient && !nonnil {
+				continue
+			}
+			for _, name := range field.Names {
+				obj, ok := p.Info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if transient {
+					c.transientFields[obj] = true
+				}
+				if nonnil {
+					c.nonNilFields[obj] = true
+				}
+			}
+		}
+	}
+}
+
+// hotFunctions computes the //libra:hotpath reachability closure: every
+// module function reachable from an annotated root through statically
+// resolvable calls. Interface method calls cannot be resolved and end the
+// walk (the hot paths in this codebase call concrete code; schedulers and
+// recorders behind interfaces are deliberately out of alloclint's scope).
+func (c *contracts) hotFunctions() map[*types.Func]bool {
+	hot := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if hot[fn] {
+			return
+		}
+		hot[fn] = true
+		decl, info := c.decls[fn], c.infos[fn]
+		if decl == nil || decl.Body == nil || info == nil {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := info.Uses[id].(*types.Func); ok && c.decls[callee] != nil {
+				visit(callee)
+			}
+			return true
+		})
+	}
+	for _, root := range c.hotRoots {
+		visit(root)
+	}
+	return hot
+}

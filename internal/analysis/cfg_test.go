@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFuncBody type-checks a single function body given as Go source and
+// returns it with the resolved type info (guard facts need types for the
+// cap/len and package-name resolution).
+func parseFuncBody(t testing.TB, params, body string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	src := "package p\nfunc f(" + params + ") {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	// Type errors are tolerated: the CFG is syntactic and the guard facts
+	// degrade gracefully on missing info.
+	_, _ = conf.Check("p", fset, []*ast.File{file}, info)
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return fd.Body, info
+}
+
+// TestCFGStraightLine: sequential statements chain entry -> s1 -> ... -> exit,
+// and each dominates its successors.
+func TestCFGStraightLine(t *testing.T) {
+	body, _ := parseFuncBody(t, "", `
+a := 1
+b := a + 1
+_ = b`)
+	cfg := BuildCFG(body)
+	var prev *CFGNode = cfg.Entry
+	for i, s := range body.List {
+		n := cfg.NodeFor(s)
+		if n == nil {
+			t.Fatalf("statement %d has no CFG node", i)
+		}
+		if !cfg.Reachable(n) {
+			t.Errorf("statement %d unreachable", i)
+		}
+		if !cfg.Dominates(prev, n) {
+			t.Errorf("node %d does not dominate statement %d", prev.Index, i)
+		}
+		prev = n
+	}
+	if !cfg.Dominates(prev, cfg.Exit) {
+		t.Error("last statement does not dominate exit")
+	}
+}
+
+// TestCFGBranchDominance: an if/else head dominates both arms and the join;
+// neither arm dominates the join.
+func TestCFGBranchDominance(t *testing.T) {
+	body, _ := parseFuncBody(t, "c bool", `
+if c {
+	a := 1
+	_ = a
+} else {
+	b := 2
+	_ = b
+}
+join := 3
+_ = join`)
+	cfg := BuildCFG(body)
+	ifStmt := body.List[0].(*ast.IfStmt)
+	head := cfg.NodeFor(ifStmt)
+	thenN := cfg.NodeFor(ifStmt.Body.List[0])
+	elseN := cfg.NodeFor(ifStmt.Else.(*ast.BlockStmt).List[0])
+	join := cfg.NodeFor(body.List[1])
+	for name, n := range map[string]*CFGNode{"then": thenN, "else": elseN, "join": join} {
+		if !cfg.Reachable(n) {
+			t.Errorf("%s unreachable", name)
+		}
+		if !cfg.Dominates(head, n) {
+			t.Errorf("if head does not dominate %s", name)
+		}
+	}
+	if cfg.Dominates(thenN, join) {
+		t.Error("then-arm must not dominate the join")
+	}
+	if cfg.Dominates(elseN, join) {
+		t.Error("else-arm must not dominate the join")
+	}
+}
+
+// TestCFGEarlyReturn: code after `if c { return }` stays reachable via the
+// false edge; code directly after an unconditional return is unreachable.
+func TestCFGEarlyReturn(t *testing.T) {
+	body, _ := parseFuncBody(t, "c bool", `
+if c {
+	return
+}
+after := 1
+_ = after`)
+	cfg := BuildCFG(body)
+	after := cfg.NodeFor(body.List[1])
+	if !cfg.Reachable(after) {
+		t.Error("statement after guarded return must be reachable")
+	}
+	if !cfg.Dominates(cfg.NodeFor(body.List[0]), after) {
+		t.Error("if head must dominate the fall-through")
+	}
+}
+
+// TestCFGTerminalCall: panic terminates flow, making the rest unreachable.
+func TestCFGTerminalCall(t *testing.T) {
+	body, _ := parseFuncBody(t, "", `
+a := 1
+_ = a
+panic("x")
+dead := 2
+_ = dead`)
+	cfg := BuildCFG(body)
+	dead := cfg.NodeFor(body.List[3])
+	if cfg.Reachable(dead) {
+		t.Error("statement after panic must be unreachable")
+	}
+}
+
+// TestCFGLoop: the loop head dominates the body; the body does not dominate
+// the code after the loop (break may skip arbitrary iterations but the head's
+// false edge always bounds it).
+func TestCFGLoop(t *testing.T) {
+	body, _ := parseFuncBody(t, "", `
+sum := 0
+for i := 0; i < 10; i++ {
+	if i == 5 {
+		break
+	}
+	sum += i
+}
+_ = sum`)
+	cfg := BuildCFG(body)
+	loop := body.List[1].(*ast.ForStmt)
+	head := cfg.NodeFor(loop)
+	work := cfg.NodeFor(loop.Body.List[1])
+	after := cfg.NodeFor(body.List[2])
+	if !cfg.Reachable(work) || !cfg.Reachable(after) {
+		t.Fatal("loop body and after-loop must be reachable")
+	}
+	if !cfg.Dominates(head, work) {
+		t.Error("loop head must dominate the body")
+	}
+	if cfg.Dominates(work, after) {
+		t.Error("loop body must not dominate the statement after the loop")
+	}
+}
+
+// TestGuardFacts: the lazy-init and watermark guard facts hold inside their
+// guarded branches and nowhere after the join; nil-check facts flow to the
+// guarded use.
+func TestGuardFacts(t *testing.T) {
+	body, info := parseFuncBody(t, "xs []int, n int, p *int", `
+if cap(xs) < n {
+	xs = make([]int, n)
+}
+if xs == nil {
+	xs = make([]int, 1)
+}
+if p != nil {
+	_ = *p
+}
+_ = xs`)
+	cfg := BuildCFG(body)
+	guards := cfg.GuardFacts(info)
+
+	capBody := body.List[0].(*ast.IfStmt).Body.List[0]
+	if !guards.Has(capBody, factCapGrow) {
+		t.Error("capacity-guarded branch lacks the capgrow fact")
+	}
+	nilBody := body.List[1].(*ast.IfStmt).Body.List[0]
+	if !guards.HasPrefix(nilBody, factIsNil) {
+		t.Error("nil-guarded lazy-init branch lacks the isnil fact")
+	}
+	ptrBody := body.List[2].(*ast.IfStmt).Body.List[0]
+	if !guards.NonNil(ptrBody, "p") {
+		t.Error("p != nil branch lacks the nonnil fact for p")
+	}
+	join := body.List[3]
+	if guards.Has(join, factCapGrow) || guards.HasPrefix(join, factIsNil) || guards.NonNil(join, "p") {
+		t.Error("guard facts must not survive past the join")
+	}
+}
+
+// TestGuardFactKilledByAssignment: assigning to the guarded expression kills
+// its facts downstream.
+func TestGuardFactKilledByAssignment(t *testing.T) {
+	body, info := parseFuncBody(t, "p *int, q *int", `
+if p != nil {
+	p = q
+	_ = *p
+}`)
+	cfg := BuildCFG(body)
+	guards := cfg.GuardFacts(info)
+	inner := body.List[0].(*ast.IfStmt).Body
+	if !guards.NonNil(inner.List[0], "p") {
+		t.Error("fact must hold at the assignment itself (facts are in-sets)")
+	}
+	if guards.NonNil(inner.List[1], "p") {
+		t.Error("assignment to p must kill the nonnil fact")
+	}
+}
+
+// FuzzCFGBuild: any function body that parses must build a well-formed graph —
+// no panics, entry/exit present, every edge endpoint a registered node, and
+// dominance queries total.
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		"",
+		"a := 1\n_ = a",
+		"for {\n}",
+		"for i := 0; i < 3; i++ {\nif i == 1 {\ncontinue\n}\nbreak\n}",
+		"switch x := 1; x {\ncase 1:\nfallthrough\ncase 2:\ndefault:\n}",
+		"outer:\nfor {\nfor {\nbreak outer\n}\n}",
+		"goto done\ndone:\nreturn",
+		"select {\ncase <-ch:\ndefault:\n}",
+		"if a {\nreturn\n} else if b {\npanic(\"x\")\n}\n_ = 1",
+		"defer func() {\n}()\ngo run()",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, bodySrc string) {
+		src := "package p\nfunc f() {\n" + bodySrc + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "f.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		if len(file.Decls) != 1 {
+			t.Skip() // the body broke out of the function braces
+		}
+		fd, ok := file.Decls[0].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			t.Skip()
+		}
+		cfg := BuildCFG(fd.Body)
+		if cfg.Entry == nil || cfg.Exit == nil {
+			t.Fatal("missing entry/exit")
+		}
+		known := map[*CFGNode]bool{}
+		for _, n := range cfg.Nodes {
+			known[n] = true
+		}
+		for _, n := range cfg.Nodes {
+			for _, e := range n.Succs {
+				if e.From != n || !known[e.To] {
+					t.Fatalf("edge %d->%d not well-formed", e.From.Index, e.To.Index)
+				}
+			}
+			for _, e := range n.Preds {
+				if e.To != n || !known[e.From] {
+					t.Fatalf("pred edge of node %d not well-formed", n.Index)
+				}
+			}
+			// Dominance must be a total, panic-free query.
+			cfg.Dominates(cfg.Entry, n)
+			cfg.Dominates(n, cfg.Exit)
+		}
+		if !cfg.Reachable(cfg.Entry) {
+			t.Fatal("entry must be reachable")
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package analysis
+
+// ctxlint: enforces the cancellation contract (DESIGN §12).
+//
+//  1. Every for/range loop (and every blocking select) in the cancellation-
+//     aware packages — internal/{serve,experiments,sim} — that can block on
+//     channel operations or sync.Cond.Wait must observe the context on its
+//     path: a `<-ctx.Done()` case or a `ctx.Err()` check somewhere in the
+//     loop. A select with a `default` clause never blocks and is exempt;
+//     the simulator's pure compute loops contain no channel ops and are
+//     not affected.
+//  2. context.Background()/context.TODO() are forbidden outside cmd/ mains
+//     (and tests, which the loader never parses): library code must accept
+//     its caller's context, or cancellation silently stops at that layer.
+//  3. Where a function takes a context.Context, it is the first parameter —
+//     the stdlib convention the rest of the repo's call plumbing assumes.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxLoopPackages are the package trees whose blocking loops must observe
+// ctx (rule 1). Rules 2 and 3 apply module-wide.
+var CtxLoopPackages = []string{
+	"internal/serve",
+	"internal/experiments",
+	"internal/sim",
+}
+
+// Ctxlint builds the cancellation-contract analyzer.
+func Ctxlint() *Analyzer {
+	return &Analyzer{
+		Name: "ctxlint",
+		Doc:  "blocking loops observe ctx; Background stays in cmd/; ctx comes first",
+		Run:  runCtxlint,
+	}
+}
+
+func runCtxlint(p *Pass) {
+	inCmd := p.RelPath == "cmd" || strings.HasPrefix(p.RelPath, "cmd/")
+	checkLoops := inAny(p.RelPath, CtxLoopPackages)
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if !inCmd {
+					checkBackground(p, e)
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(p, e.Type, e.Name.Name)
+			case *ast.FuncLit:
+				checkCtxFirst(p, e.Type, "func literal")
+			case *ast.ForStmt:
+				if checkLoops {
+					if op, ok := blockingOpIn(p, e.Body); ok && !observesCtx(p, e.Body) {
+						p.Report(op.Pos(), "blocking for loop never observes ctx — add a <-ctx.Done() case or ctx.Err() check")
+					}
+				}
+			case *ast.RangeStmt:
+				if checkLoops {
+					if op, ok := blockingOpIn(p, e.Body); ok && !observesCtx(p, e.Body) {
+						p.Report(op.Pos(), "blocking range loop never observes ctx — add a <-ctx.Done() case or ctx.Err() check")
+					}
+				}
+			case *ast.SelectStmt:
+				if checkLoops && !selectHasDefault(e) {
+					wrap := &ast.BlockStmt{List: []ast.Stmt{e}}
+					if !observesCtx(p, wrap) {
+						p.Report(e.Pos(), "blocking select has neither a default nor a <-ctx.Done() case")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkBackground flags context.Background()/context.TODO() in library code.
+func checkBackground(p *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "context" {
+		return
+	}
+	p.Report(call.Pos(), "context.%s outside cmd/ mains severs cancellation — accept the caller's ctx", sel.Sel.Name)
+}
+
+// checkCtxFirst enforces ctx-comes-first on any signature carrying a
+// context.Context parameter.
+func checkCtxFirst(p *Pass, ft *ast.FuncType, name string) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(p, field.Type) && pos != 0 {
+			p.Report(field.Pos(), "%s: context.Context must be the first parameter", name)
+		}
+		pos += n
+	}
+}
+
+func isContextType(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// blockingOpIn reports whether the loop body contains an operation that can
+// block forever: a channel send/receive outside a default-guarded select, or
+// sync.Cond.Wait.
+func blockingOpIn(p *Pass, body *ast.BlockStmt) (ast.Node, bool) {
+	var found ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			// A select blocks only without a default clause; its comm ops
+			// belong to it, so don't descend into the comm statements for
+			// raw channel ops — but do descend into the case bodies.
+			if !selectHasDefault(e) {
+				found = e
+				return false
+			}
+			for _, c := range e.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, s := range cc.Body {
+						if f, ok2 := blockingOpInStmt(p, s); ok2 {
+							found = f
+						}
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			found = e
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = e
+				return false
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if isCondType(p, sel.X) {
+					found = e
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+func blockingOpInStmt(p *Pass, s ast.Stmt) (ast.Node, bool) {
+	if bs, ok := s.(*ast.BlockStmt); ok {
+		return blockingOpIn(p, bs)
+	}
+	return blockingOpIn(p, &ast.BlockStmt{List: []ast.Stmt{s}})
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func isCondType(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Cond" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// observesCtx reports whether the body references ctx.Done() or ctx.Err()
+// on a context.Context-typed receiver (outside nested function literals).
+func observesCtx(p *Pass, body *ast.BlockStmt) bool {
+	seen := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if seen {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && isContextValue(p, sel.X) {
+			seen = true
+			return false
+		}
+		return true
+	})
+	return seen
+}
+
+func isContextValue(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

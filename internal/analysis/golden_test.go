@@ -45,7 +45,7 @@ func checkFixture(t *testing.T, a *Analyzer, fixture, relPath string) {
 	if len(exps) == 0 {
 		t.Fatalf("fixture %s has no want annotations", dir)
 	}
-	diags := RunPackage(a, pkg, relPath)
+	diags := RunPackage(m, a, pkg, relPath)
 	if len(diags) == 0 {
 		t.Fatalf("analyzer %s found nothing in %s: detection is broken", a.Name, dir)
 	}
@@ -66,6 +66,18 @@ func TestSeedlintGolden(t *testing.T) {
 	checkFixture(t, Seedlint(), "seedlint", "internal/workloads")
 }
 
+func TestAlloclintGolden(t *testing.T) {
+	checkFixture(t, Alloclint(), "alloclint", "internal/sim")
+}
+
+func TestRetainlintGolden(t *testing.T) {
+	checkFixture(t, Retainlint(), "retainlint", "internal/sim")
+}
+
+func TestCtxlintGolden(t *testing.T) {
+	checkFixture(t, Ctxlint(), "ctxlint", "internal/serve")
+}
+
 // TestAnalyzersScopedOut proves the path scoping: the same violating fixtures
 // produce zero diagnostics when the package lies outside the analyzer's
 // scope (detlint and telemetrylint are deterministic/hot-path only).
@@ -77,12 +89,13 @@ func TestAnalyzersScopedOut(t *testing.T) {
 	}{
 		{Detlint(), "detlint"},
 		{Telemetrylint(), "telemetrylint"},
+		{Alloclint(), "alloclint"},
 	} {
 		pkg, err := LoadFixturePackage(m, filepath.Join("testdata", "src", tc.fixture), "cmd/outofscope")
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", tc.fixture, err)
 		}
-		if diags := RunPackage(tc.analyzer, pkg, "cmd/outofscope"); len(diags) != 0 {
+		if diags := RunPackage(m, tc.analyzer, pkg, "cmd/outofscope"); len(diags) != 0 {
 			t.Errorf("%s reported outside its package scope: %v", tc.analyzer.Name, diags)
 		}
 	}

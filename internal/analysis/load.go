@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package of the module under analysis: the
@@ -96,12 +98,25 @@ type parsedDir struct {
 	imports map[string]bool // local (module-internal) imports only
 }
 
-// LoadModule parses and type-checks every non-test package under root.
-// Type checking is pure stdlib: module-internal imports resolve against the
-// packages being loaded (in dependency order) and standard-library imports
-// resolve through the source importer, so the loader works without compiled
-// export data and without any third-party dependency.
+// LoadModule parses and type-checks every non-test package under root using
+// one worker per available CPU. Type checking is pure stdlib: module-internal
+// imports resolve against the packages being loaded (in dependency order) and
+// standard-library imports resolve through the source importer, so the loader
+// works without compiled export data and without any third-party dependency.
 func LoadModule(root string) (*Module, error) {
+	return LoadModuleJobs(root, 0)
+}
+
+// LoadModuleJobs is LoadModule with an explicit parallelism degree (jobs <= 0
+// means GOMAXPROCS). Parsing fans out per directory; type checking fans out
+// in dependency waves — every package whose module-internal imports are
+// already checked runs concurrently. The result is independent of jobs: the
+// package list is sorted, positions are per-file, and diagnostics sort by
+// position, which the jobs=1-vs-4 determinism test pins.
+func LoadModuleJobs(root string, jobs int) (*Module, error) {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
 	root, err := FindModuleRoot(root)
 	if err != nil {
 		return nil, err
@@ -112,7 +127,10 @@ func LoadModule(root string) (*Module, error) {
 	}
 	fset := token.NewFileSet()
 
-	var dirs []*parsedDir
+	// Phase 1: walk (serial, cheap) then parse every directory in parallel.
+	// token.FileSet is safe for concurrent AddFile, and file positions are
+	// per-file, so registration order cannot leak into diagnostics.
+	var dirPaths []string
 	walk := func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -123,25 +141,43 @@ func LoadModule(root string) (*Module, error) {
 		if path != root && skippedDir(d.Name()) {
 			return filepath.SkipDir
 		}
-		pd, err := parseDir(fset, path, modPath)
-		if err != nil {
-			return err
-		}
-		if pd != nil {
-			rel, err := filepath.Rel(root, path)
-			if err != nil {
-				return err
-			}
-			if rel == "." {
-				rel = ""
-			}
-			pd.relPath = filepath.ToSlash(rel)
-			dirs = append(dirs, pd)
-		}
+		dirPaths = append(dirPaths, path)
 		return nil
 	}
 	if err := filepath.WalkDir(root, walk); err != nil {
 		return nil, err
+	}
+	parsed := make([]*parsedDir, len(dirPaths))
+	parseErrs := make([]error, len(dirPaths))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for i, path := range dirPaths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			parsed[i], parseErrs[i] = parseDir(fset, path, modPath)
+		}(i, path)
+	}
+	wg.Wait()
+	var dirs []*parsedDir
+	for i, pd := range parsed {
+		if parseErrs[i] != nil {
+			return nil, parseErrs[i] // lowest directory wins: deterministic
+		}
+		if pd == nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, dirPaths[i])
+		if err != nil {
+			return nil, err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		pd.relPath = filepath.ToSlash(rel)
+		dirs = append(dirs, pd)
 	}
 
 	ordered, err := topoSort(dirs, modPath)
@@ -149,18 +185,77 @@ func LoadModule(root string) (*Module, error) {
 		return nil, err
 	}
 
+	// Phase 2: type-check in dependency waves. One shared source importer
+	// behind a mutex keeps stdlib types.Package identity unique (two
+	// importers would each check their own "fmt", breaking cross-package
+	// type identity); the module map is read under the same lock.
 	m := &Module{Path: modPath, Root: root, Fset: fset, byPath: map[string]*Package{}}
-	imp := &moduleImporter{mod: m, std: importer.ForCompiler(fset, "source", nil)}
-	for _, pd := range ordered {
-		pkg, err := m.check(pd, imp)
-		if err != nil {
-			return nil, err
+	imp := &lockedImporter{inner: &moduleImporter{mod: m, std: importer.ForCompiler(fset, "source", nil)}}
+	byRel := make(map[string]*parsedDir, len(ordered))
+	for _, d := range ordered {
+		byRel[d.relPath] = d
+	}
+	checked := make(map[string]bool, len(ordered))
+	remaining := ordered
+	for len(remaining) > 0 {
+		var wave, rest []*parsedDir
+		for _, d := range remaining {
+			ready := true
+			for p := range d.imports {
+				rel := strings.TrimPrefix(strings.TrimPrefix(p, modPath), "/")
+				if _, inModule := byRel[rel]; inModule && !checked[rel] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, d)
+			} else {
+				rest = append(rest, d)
+			}
 		}
-		m.Packages = append(m.Packages, pkg)
-		m.byPath[pkg.Path] = pkg
+		if len(wave) == 0 {
+			return nil, fmt.Errorf("import cycle among %d remaining packages", len(remaining))
+		}
+		pkgs := make([]*Package, len(wave))
+		checkErrs := make([]error, len(wave))
+		for i, pd := range wave {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, pd *parsedDir) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				pkgs[i], checkErrs[i] = m.check(pd, imp)
+			}(i, pd)
+		}
+		wg.Wait()
+		for i, err := range checkErrs {
+			if err != nil {
+				return nil, err
+			}
+			imp.mu.Lock()
+			m.Packages = append(m.Packages, pkgs[i])
+			m.byPath[pkgs[i].Path] = pkgs[i]
+			imp.mu.Unlock()
+			checked[wave[i].relPath] = true
+		}
+		remaining = rest
 	}
 	sort.Slice(m.Packages, func(i, j int) bool { return m.Packages[i].Path < m.Packages[j].Path })
 	return m, nil
+}
+
+// lockedImporter serializes all imports: the source importer is not safe for
+// concurrent use, and the module package map is written between waves.
+type lockedImporter struct {
+	mu    sync.Mutex
+	inner types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.inner.Import(path)
 }
 
 // parseDir parses the non-test Go files of one directory. It returns nil when

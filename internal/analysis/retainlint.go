@@ -1,0 +1,360 @@
+package analysis
+
+// retainlint: enforces the "valid until next call" ownership contract
+// (DESIGN §11). Producers annotated //libra:transient — RenderTileInto
+// (fills its pointer argument), AppendTileFlushLines, FrameScene, gpipe.Run,
+// Binner.Bin, RunRaster — hand out storage they will overwrite on the next
+// call; so do struct fields annotated //libra:transient (the TileWork slots
+// in sim.FrameInput). A consumer may read such a value, pass it on, or
+// return it up the same call chain, but storing it anywhere that outlives
+// the call — a struct field behind a pointer, a package variable, a map or
+// slice cell it does not own, a channel, a goroutine — must go through
+// .Clone().
+//
+// The tracking is a per-function taint walk: producer results and annotated
+// field reads are tainted; locals assigned from tainted expressions are
+// tainted; selectors/indexes/addresses of tainted values are tainted. A
+// .Clone() call launders the taint. A store of X into a field of X's own
+// base object (`ru.work = &ru.scratch`) is self-aliasing within one owner
+// and allowed.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Retainlint builds the transient-ownership analyzer.
+func Retainlint() *Analyzer {
+	return &Analyzer{
+		Name: "retainlint",
+		Doc:  "flag retained //libra:transient values not laundered by Clone()",
+		Run:  runRetainlint,
+	}
+}
+
+func runRetainlint(p *Pass) {
+	cons := collectContracts(p.Mod, p.Pkg)
+	if len(cons.transientFuncs) == 0 && len(cons.transientFields) == 0 {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// A producer's own implementation plumbs its transient storage
+			// freely; the contract binds its callers.
+			if obj, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func); obj != nil && cons.transientFuncs[obj] {
+				continue
+			}
+			rt := &retainChecker{p: p, cons: cons, tainted: map[types.Object]bool{}}
+			rt.seedLocals(fd.Body)
+			rt.check(fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+type retainChecker struct {
+	p    *Pass
+	cons *contracts
+	// tainted holds local variables bound to transient storage.
+	tainted map[types.Object]bool
+}
+
+// seedLocals runs the flow-insensitive taint closure over the function's
+// assignments until it stabilizes: a local is tainted if any assignment
+// binds it to a tainted expression (and no Clone intervenes on that path —
+// per-assignment, not per-variable, so one raw binding taints the var).
+// Passing &local to a transient producer (the RenderTileInto fill pattern)
+// also taints the local.
+func (rt *retainChecker) seedLocals(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(rt.p, st)
+				if fn == nil || !rt.cons.transientFuncs[fn] {
+					return true
+				}
+				for _, arg := range st.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					if obj := rootObject(rt.p, ue.X); obj != nil && !rt.tainted[obj] {
+						if _, isVar := obj.(*types.Var); isVar {
+							rt.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := rt.p.Pkg.Info.ObjectOf(id)
+					if obj == nil || rt.tainted[obj] {
+						continue
+					}
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+					if rhs != nil && rt.taintedExpr(rhs) {
+						rt.tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// Ranging over a tainted slice taints the value variable.
+				if st.Value != nil && rt.taintedExpr(st.X) {
+					if id, ok := ast.Unparen(st.Value).(*ast.Ident); ok && id.Name != "_" {
+						obj := rt.p.Pkg.Info.ObjectOf(id)
+						if obj != nil && !rt.tainted[obj] {
+							rt.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// check walks the body flagging escaping stores of tainted values.
+func (rt *retainChecker) check(fname string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				if rhs == nil || !rt.taintedExpr(rhs) {
+					continue
+				}
+				if loc, escaping := rt.escapingStore(lhs, rhs); escaping {
+					rt.p.Report(st.Pos(), "%s: transient value %q stored to %s %q outlives its producer's next call — use .Clone()",
+						fname, exprKey(rhs), loc, exprKey(lhs))
+				}
+			}
+		case *ast.SendStmt:
+			if rt.taintedExpr(st.Value) {
+				rt.p.Report(st.Pos(), "%s: transient value %q sent on a channel outlives its producer's next call — use .Clone()",
+					fname, exprKey(st.Value))
+			}
+		case *ast.GoStmt:
+			rt.checkGoCapture(fname, st)
+		}
+		return true
+	})
+}
+
+// escapingStore classifies an assignment target: stores into longer-lived
+// storage escape; stores to plain locals (including fields of value-typed
+// locals) do not. Self-aliasing — the stored value is rooted in the same
+// object as the destination — is one owner rearranging itself and is
+// allowed.
+func (rt *retainChecker) escapingStore(lhs, rhs ast.Expr) (string, bool) {
+	if lroot, rroot := rootObject(rt.p, lhs), rootObject(rt.p, rhs); lroot != nil && lroot == rroot {
+		return "", false
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := rt.p.Pkg.Info.ObjectOf(l)
+		if v, ok := obj.(*types.Var); ok && v.Parent() == rt.p.Pkg.Types.Scope() {
+			return "package variable", true
+		}
+		return "", false // plain local binding: lifetime ends with the call
+	case *ast.SelectorExpr:
+		// A field of a by-value local struct dies with the call; a field
+		// reached through a pointer (or any non-local base) lives on.
+		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			obj := rt.p.Pkg.Info.ObjectOf(base)
+			if v, ok := obj.(*types.Var); ok && v.Parent() != rt.p.Pkg.Types.Scope() {
+				if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+					return "", false
+				}
+			}
+		}
+		return "struct field", true
+	case *ast.IndexExpr:
+		tv, ok := rt.p.Pkg.Info.Types[l.X]
+		if ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return "map entry", true
+			}
+		}
+		// Slice/array cells: writing into storage the function received or
+		// owns locally is the producer/fill pattern; only package-level
+		// backing arrays escape.
+		if base, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			obj := rt.p.Pkg.Info.ObjectOf(base)
+			if v, ok := obj.(*types.Var); ok && v.Parent() == rt.p.Pkg.Types.Scope() {
+				return "package-level slice", true
+			}
+		}
+		return "", false
+	case *ast.StarExpr:
+		return "", false // *dst writes fill caller-provided storage: producer pattern
+	}
+	return "", false
+}
+
+// checkGoCapture flags goroutines whose function literal captures a tainted
+// variable, or that receive a tainted argument: the goroutine's lifetime is
+// unbounded relative to the producer's next call.
+func (rt *retainChecker) checkGoCapture(fname string, g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if rt.taintedExpr(arg) {
+			rt.p.Report(arg.Pos(), "%s: transient value %q passed to a goroutine outlives its producer's next call — use .Clone()",
+				fname, exprKey(arg))
+		}
+	}
+	fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := rt.p.Pkg.Info.Uses[id]; obj != nil && rt.tainted[obj] {
+			rt.p.Report(id.Pos(), "%s: goroutine closure captures transient %q — it outlives the producer's next call, use .Clone()",
+				fname, id.Name)
+			return true
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether the expression yields transient storage. An
+// expression whose type has no reference parts (a plain int field read off a
+// transient struct, say) is a value copy and never transient.
+func (rt *retainChecker) taintedExpr(e ast.Expr) bool {
+	if tv, ok := rt.p.Pkg.Info.Types[e]; ok && tv.Type != nil && !typeHasRefs(tv.Type, nil) {
+		return false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := rt.p.Pkg.Info.Uses[x]
+		return obj != nil && rt.tainted[obj]
+	case *ast.CallExpr:
+		if isCloneCall(x) {
+			return false // laundered
+		}
+		if fn := calleeFunc(rt.p, x); fn != nil && rt.cons.transientFuncs[fn] {
+			return true
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := rt.p.Pkg.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && rt.cons.transientFields[v] {
+				return true
+			}
+		} else if obj, ok := rt.p.Pkg.Info.Uses[x.Sel].(*types.Var); ok && rt.cons.transientFields[obj] {
+			return true
+		}
+		return rt.taintedExpr(x.X)
+	case *ast.IndexExpr:
+		return rt.taintedExpr(x.X)
+	case *ast.SliceExpr:
+		return rt.taintedExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return rt.taintedExpr(x.X)
+		}
+	case *ast.StarExpr:
+		return rt.taintedExpr(x.X)
+	}
+	return false
+}
+
+// isCloneCall matches `<expr>.Clone()` by name: the codebase's sanctioned
+// laundering method.
+func isCloneCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Clone"
+}
+
+// calleeFunc resolves the called function object of a call, following method
+// selections.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Pkg.Info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Pkg.Info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// rootObject finds the variable at the base of a (possibly nested)
+// selector/index/address expression: ru in `&ru.scratch`, `ru.work`,
+// `ru.texL1[i]`.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return p.Pkg.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// typeHasRefs reports whether a type contains any reference parts — slices,
+// maps, pointers, channels, interfaces, funcs — that could alias reused
+// producer storage. Pure-value types (ints, floats, bools, strings, structs
+// and arrays thereof) are copied by assignment and cannot retain.
+func typeHasRefs(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasRefs(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeHasRefs(u.Elem(), seen)
+	}
+	return false
+}

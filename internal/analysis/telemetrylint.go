@@ -16,6 +16,8 @@ var HotPathPackages = []string{
 	"internal/sched",
 	"internal/mem",
 	"internal/raster",
+	"internal/serve",
+	"internal/resultstore",
 }
 
 // telemetryEmitTypes are the internal/telemetry type names whose method
@@ -39,8 +41,13 @@ func Telemetrylint() *Analyzer {
 }
 
 func runTelemetrylint(p *Pass) {
+	cons := collectContracts(p.Mod, p.Pkg)
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				checkNonNilAssign(p, cons, as)
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -53,6 +60,9 @@ func runTelemetrylint(p *Pass) {
 			if recvName == "" {
 				return true
 			}
+			if nonNilSource(p, cons, f, sel.X, 0) {
+				return true // //libra:nonnil: never nil once constructed
+			}
 			if !nilGuarded(p, f, call, sel.X) {
 				p.Report(call.Pos(),
 					"telemetry emit %s.%s is not dominated by a nil-guard on %s (the disabled path must stay one branch)",
@@ -60,6 +70,85 @@ func runTelemetrylint(p *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// nonNilSource reports whether the receiver expression is an annotated
+// never-nil source: a //libra:nonnil struct field, a call to a
+// //libra:nonnil function/method, or a local variable assigned only from
+// such sources.
+func nonNilSource(p *Pass, cons *contracts, file *ast.File, e ast.Expr, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Pkg.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && cons.nonNilFields[v] {
+				return true
+			}
+		}
+		if v, ok := p.Pkg.Info.Uses[x.Sel].(*types.Var); ok && cons.nonNilFields[v] {
+			return true
+		}
+	case *ast.CallExpr:
+		if fn := calleeFunc(p, x); fn != nil && cons.nonNilFuncs[fn] {
+			return true
+		}
+	case *ast.Ident:
+		obj := p.Pkg.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		_, body := enclosingFunc(file, x.Pos())
+		if body == nil {
+			return false
+		}
+		assigns := 0
+		allNonNil := true
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || p.Pkg.Info.ObjectOf(id) != obj {
+					continue
+				}
+				assigns++
+				if !nonNilSource(p, cons, file, as.Rhs[i], depth+1) {
+					allNonNil = false
+				}
+			}
+			return true
+		})
+		return assigns > 0 && allNonNil
+	}
+	return false
+}
+
+// checkNonNilAssign flags a literal nil stored into a //libra:nonnil field —
+// the annotation is a promise, and this is the one way code can break it
+// that the type system won't catch.
+func checkNonNilAssign(p *Pass, cons *contracts, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || !isNilIdent(ast.Unparen(as.Rhs[i])) {
+			continue
+		}
+		var fieldVar *types.Var
+		if s, ok := p.Pkg.Info.Selections[sel]; ok {
+			fieldVar, _ = s.Obj().(*types.Var)
+		} else if v, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var); ok {
+			fieldVar = v
+		}
+		if fieldVar != nil && cons.nonNilFields[fieldVar] {
+			p.Report(as.Pos(), "nil assigned to //libra:nonnil field %s breaks its never-nil promise", fieldVar.Name())
+		}
 	}
 }
 
@@ -106,6 +195,17 @@ func telemetryEmitReceiver(info *types.Info, sel *ast.SelectorExpr) string {
 // zero-alloc benchmark measures.
 func nilGuarded(p *Pass, file *ast.File, call *ast.CallExpr, recv ast.Expr) bool {
 	guardStr := types.ExprString(recv)
+	// The CFG guard-fact dataflow proves dominance directly (enclosing
+	// branches, early exits, merged paths) within the innermost function.
+	if _, body := enclosingFunc(file, call.Pos()); body != nil {
+		cfg := BuildCFG(body)
+		guards := cfg.GuardFacts(p.Pkg.Info)
+		if stmt := enclosingStmt(body, cfg, call); stmt != nil && guards.NonNil(stmt, exprKey(recv)) {
+			return true
+		}
+	}
+	// Syntactic fallback: guards established outside a closure boundary
+	// (the CFG stops at FuncLit edges) still dominate emits inside it.
 	stack := ancestorStack(file, call)
 	for _, n := range stack {
 		ifs, ok := n.(*ast.IfStmt)

@@ -1,0 +1,125 @@
+// Package fixture exercises alloclint: allocation-inducing constructs in
+// //libra:hotpath functions (and everything reachable from them) are flagged;
+// the sanctioned reuse/watermark/lazy-init patterns are not.
+package fixture
+
+import "fmt"
+
+type tileWork struct {
+	lines []uint64
+	quads []int
+}
+
+type point struct{ x, y int }
+
+type renderer struct {
+	buf   []int
+	m     map[int]int
+	cb    func()
+	count int
+}
+
+// RenderTileInto is the testdata twin of raster.RenderTileInto: the injected
+// non-reuse append must be flagged (the acceptance case), the reuse idiom
+// must not.
+//
+//libra:hotpath
+func (r *renderer) RenderTileInto(w *tileWork, tile int) {
+	w.lines = w.lines[:0]
+	w.lines = append(w.lines, uint64(tile))
+	spill := append(w.lines, 1, 2) // want `non-reused slice allocates every call`
+	_ = spill
+	r.helper()
+}
+
+// helper is NOT annotated: it is hot by reachability from RenderTileInto.
+func (r *renderer) helper() {
+	buf := make([]int, 8) // want `make allocates on the steady-state path`
+	_ = buf
+	q := new(point) // want `new allocates on the steady-state path`
+	_ = q
+}
+
+// coldPaths shows the exempt guarded forms: a capacity watermark and a
+// lazy-init nil check only allocate until the steady state is reached.
+//
+//libra:hotpath
+func (r *renderer) coldPaths(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]int, 0, n)
+	}
+	r.buf = r.buf[:0]
+	if r.m == nil {
+		r.m = make(map[int]int)
+	}
+}
+
+// appendProducer returns the grown slice — the Append* producer pattern where
+// the caller owns the reuse.
+//
+//libra:hotpath
+func appendProducer(dst []uint64, v uint64) []uint64 {
+	return append(dst, v)
+}
+
+// strings exercises concatenation and conversion costs.
+//
+//libra:hotpath
+func (r *renderer) strings(a, b string, bs []byte) {
+	s := a + b // want `string concatenation allocates`
+	_ = s
+	t := string(bs) // want `string conversion allocates`
+	_ = t
+	u := []byte(a) // want `conversion of a string allocates`
+	_ = u
+	fmt.Println(a) // want `fmt.Println allocates`
+}
+
+// closures: goroutine bodies, stored and argument closures escape; deferred,
+// immediately-invoked and local-bound literals do not.
+//
+//libra:hotpath
+func (r *renderer) closures() {
+	go func() { // want `goroutine closure allocates every call`
+		r.count++
+	}()
+	defer func() {
+		r.count++
+	}()
+	func() {
+		r.count++
+	}()
+	f := func() { r.count++ }
+	f()
+	r.cb = func() { r.count++ }  // want `closure stored to "r.cb" escapes`
+	takeFn(func() { r.count++ }) // want `closure passed as argument escapes`
+}
+
+func takeFn(f func()) { f() }
+
+// literals: value struct literals stay on the stack; address-taken struct
+// literals and slice/map literals hit the heap.
+//
+//libra:hotpath
+func (r *renderer) literals() {
+	v := point{1, 2}
+	_ = v
+	p := &point{1, 2} // want `escapes to the heap`
+	_ = p
+	xs := []int{1, 2} // want `literal allocates`
+	_ = xs
+	m := map[int]int{} // want `literal allocates`
+	_ = m
+}
+
+func sink(v any) { _ = v }
+
+// boxing: non-pointer concrete values box into interface arguments; pointers
+// and constants do not.
+//
+//libra:hotpath
+func (r *renderer) boxing(counter int) {
+	sink(counter) // want `boxed into interface argument`
+	sink(&counter)
+	sink(42)
+}

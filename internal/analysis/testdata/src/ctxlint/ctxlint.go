@@ -1,0 +1,62 @@
+// Package fixture exercises ctxlint: blocking loops and selects in the
+// cancellation-aware packages must observe ctx, context.Background stays in
+// cmd/ mains, and context.Context comes first in any signature carrying it.
+package fixture
+
+import "context"
+
+func background() context.Context {
+	return context.Background() // want `severs cancellation`
+}
+
+func ctxSecond(name string, ctx context.Context) { // want `must be the first parameter`
+	_ = name
+	_ = ctx
+}
+
+func ctxFirstOK(ctx context.Context, name string) {
+	_ = ctx
+	_ = name
+}
+
+func blockingLoop(ch chan int) {
+	for {
+		<-ch // want `blocking for loop never observes ctx`
+	}
+}
+
+func loopObservesOK(ctx context.Context, ch chan int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		<-ch
+	}
+}
+
+func blockingSelect(ctx context.Context, ch chan int) {
+	_ = ctx
+	select { // want `blocking select has neither`
+	case <-ch:
+	}
+}
+
+func selectDoneOK(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+func selectDefaultOK(ch chan int) {
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+func rangeLoop(ch chan int, out chan int) {
+	for v := range ch {
+		out <- v // want `blocking range loop never observes ctx`
+	}
+}

@@ -1,0 +1,95 @@
+// Package fixture exercises retainlint: values from //libra:transient
+// producers (and reads of //libra:transient fields) are valid only until the
+// producer's next call; storing them anywhere longer-lived must go through
+// .Clone().
+package fixture
+
+type buf struct {
+	data []byte
+}
+
+// Clone deep-copies the buffer — the sanctioned laundering method.
+func (b *buf) Clone() *buf {
+	c := &buf{}
+	c.data = append(c.data, b.data...)
+	return c
+}
+
+// arena hands out reused storage.
+type arena struct {
+	cur buf
+}
+
+// Frame returns the arena's buffer, valid until the next Frame call.
+//
+//libra:transient
+func (a *arena) Frame() *buf { return &a.cur }
+
+// fill writes transient storage into *w (the RenderTileInto fill pattern):
+// the pointee is valid until the next fill call.
+//
+//libra:transient
+func fill(w *buf) { w.data = w.data[:0] }
+
+type holder struct {
+	buf     *buf
+	scratch buf
+	n       int
+}
+
+var global *buf
+
+func storeField(a *arena, h *holder) {
+	h.buf = a.Frame() // want `stored to struct field`
+}
+
+func storeGlobal(a *arena) {
+	global = a.Frame() // want `stored to package variable`
+}
+
+func storeMap(a *arena, m map[int]*buf) {
+	m[0] = a.Frame() // want `stored to map entry`
+}
+
+func sendChan(a *arena, ch chan *buf) {
+	ch <- a.Frame() // want `sent on a channel`
+}
+
+func goCapture(a *arena) {
+	f := a.Frame()
+	go func() {
+		_ = f.data // want `captures transient`
+	}()
+}
+
+// fillTaints: &local passed to a transient producer taints the local.
+func fillTaints(a *arena, h *holder) {
+	var w buf
+	fill(&w)
+	h.buf = &w // want `stored to struct field`
+}
+
+// cloneOK launders the transient value before the store.
+func cloneOK(a *arena, h *holder) {
+	h.buf = a.Frame().Clone()
+}
+
+// localOK: reading and locally binding transient storage is the contract's
+// intended use.
+func localOK(a *arena) {
+	f := a.Frame()
+	_ = f.data
+}
+
+// selfStoreOK: one owner aliasing its own storage (`ru.work = &ru.scratch`).
+func selfStoreOK(h *holder) {
+	fill(&h.scratch)
+	h.buf = &h.scratch
+}
+
+// valueCopyOK: pure-value reads off transient storage are copies, never
+// retained aliases.
+func valueCopyOK(a *arena, h *holder) {
+	f := a.Frame()
+	h.n = len(f.data)
+}

@@ -112,6 +112,9 @@ func (p *Pipeline) VertexCache() *cache.Cache { return p.vcache }
 // memory traffic in global time. The returned slice is backed by
 // pipeline-owned scratch and is valid until the next Run on this pipeline;
 // callers that retain primitives across frames must copy them.
+//
+//libra:hotpath
+//libra:transient
 func (p *Pipeline) Run(s *scene.Scene, screenW, screenH int, startCycle int64) ([]Primitive, Stats) {
 	var st Stats
 	prims := p.prims[:0]

@@ -72,6 +72,8 @@ func NewHierarchy(l2cfg cache.Config, dcfg dram.Config) *Hierarchy {
 // at cycle now. On an L1 miss the access proceeds to the shared L2 and, on an
 // L2 miss, to DRAM; dirty victims at L2 are written back to DRAM. The
 // returned latency is the full round trip as observed by the requester.
+//
+//libra:hotpath
 func (h *Hierarchy) AccessThroughL1(l1 *cache.Cache, now int64, addr uint64, write bool) AccessResult {
 	l1lat := l1.Config().HitLatency
 	if h.IdealL1 {

@@ -87,6 +87,9 @@ func (fb *FrameBuffer) TileFlushLines(grid tiling.Grid, tileID int) []uint64 {
 // AppendTileFlushLines appends the tile's flush-line addresses to dst and
 // returns the extended slice, allocating only when dst lacks capacity — the
 // steady-state form of TileFlushLines for reused TileWork buffers.
+//
+//libra:hotpath
+//libra:transient
 func (fb *FrameBuffer) AppendTileFlushLines(dst []uint64, grid tiling.Grid, tileID int) []uint64 {
 	r := grid.TileRect(tileID)
 	var last uint64 = ^uint64(0)

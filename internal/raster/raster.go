@@ -139,6 +139,9 @@ func (r *Renderer) RenderTile(sc *scene.Scene, prims []gpipe.Primitive, refs []t
 // value-identical to RenderTile's (only slice capacities may differ); w's
 // slices are owned by the caller and invalidated by the next RenderTileInto
 // on the same w.
+//
+//libra:hotpath
+//libra:transient
 func (r *Renderer) RenderTileInto(w *TileWork, sc *scene.Scene, prims []gpipe.Primitive, refs []tiling.PrimRef, tileID int, fb *FrameBuffer) {
 	rect := r.grid.TileRect(tileID)
 	w.Reset(tileID)
@@ -386,7 +389,7 @@ func appendUniqueLine(dst *[]uint64, start int, line uint64) {
 			return
 		}
 	}
-	*dst = append(s, line)
+	*dst = append(*dst, line)
 }
 
 // mipLevel selects the mip level from screen-space UV derivatives, matching

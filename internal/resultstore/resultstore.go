@@ -90,6 +90,8 @@ func (s *Store) Dir() string { return s.dir }
 
 // Metrics returns the registry the store ticks its hit/miss/corrupt/put
 // counters into. Open installs a private registry; SetMetrics replaces it.
+//
+//libra:nonnil
 func (s *Store) Metrics() *telemetry.Registry { return s.metrics.Load() }
 
 // SetMetrics redirects the store's counters into reg (e.g. a registry shared

@@ -70,7 +70,7 @@ type Server struct {
 	log   *log.Logger
 	store *resultstore.Store
 	adm   *Admission
-	reg   *telemetry.Registry
+	reg   *telemetry.Registry //libra:nonnil
 
 	// base governs every simulation; Abort cancels it, stopping in-flight
 	// renders at their next frame boundary (the hard-stop behind the
@@ -85,8 +85,10 @@ type Server struct {
 }
 
 // NewServer builds a service from cfg, opening the result store when
-// configured.
-func NewServer(cfg Config) (*Server, error) {
+// configured. ctx is the lifetime of the server: every simulation runs under
+// it (in addition to its request context), so cancelling ctx has the same
+// effect as Abort.
+func NewServer(ctx context.Context, cfg Config) (*Server, error) {
 	logger := cfg.Log
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
@@ -99,7 +101,7 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		store = st
 	}
-	base, abort := context.WithCancel(context.Background())
+	base, abort := context.WithCancel(ctx)
 	s := &Server{
 		cfg:       cfg,
 		log:       logger,

@@ -27,7 +27,7 @@ func tinyBody(game string, frames int) string {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := NewServer(cfg)
+	s, err := NewServer(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestRunBackpressure429(t *testing.T) {
 // request completes, and those requests answer 200 — the graceful half of
 // the drain contract.
 func TestShutdownDrainsAdmitted(t *testing.T) {
-	s, err := NewServer(Config{MaxInFlight: 2, MaxQueue: 2})
+	s, err := NewServer(context.Background(), Config{MaxInFlight: 2, MaxQueue: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestShutdownDrainsAdmitted(t *testing.T) {
 // hard stop cancels the base context and the stuck simulation aborts with a
 // 503 instead of running forever.
 func TestShutdownTimeoutAborts(t *testing.T) {
-	s, err := NewServer(Config{MaxInFlight: 1, MaxQueue: 1})
+	s, err := NewServer(context.Background(), Config{MaxInFlight: 1, MaxQueue: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,6 +45,18 @@ import (
 type renderFarm struct {
 	renderers []*raster.Renderer
 	works     []raster.TileWork
+
+	// Per-frame shared worker state. renderFrame resets these before the
+	// workers start and clears them after the barrier; keeping them on the
+	// farm (instead of capturing them in per-frame closures) lets workers
+	// run as plain `go f.work(r)` method calls, so a steady-state frame
+	// spawns goroutines without allocating closure environments.
+	in       FrameInput
+	tiles    int          // tile count of the frame being rendered
+	cursor   atomic.Int64 // next tile index to claim
+	wg       sync.WaitGroup
+	panicMu  sync.Mutex
+	panicked any // first worker panic, re-raised after the barrier
 }
 
 // newRenderFarm builds the worker-private renderers for cfg.Workers workers.
@@ -75,37 +87,44 @@ func (f *renderFarm) renderFrame(in FrameInput) []raster.TileWork {
 		workers = n
 	}
 
-	var (
-		cursor   atomic.Int64
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any // first worker panic, re-raised after the barrier
-	)
+	f.in = in
+	f.tiles = n
+	f.cursor.Store(0)
+	f.panicked = nil
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(r *raster.Renderer) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panicMu.Lock()
-					if panicked == nil {
-						panicked = p
-					}
-					panicMu.Unlock()
-				}
-			}()
-			for {
-				tile := int(cursor.Add(1)) - 1
-				if tile >= n {
-					return
-				}
-				r.RenderTileInto(&works[tile], in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
-			}
-		}(f.renderers[w])
+		f.wg.Add(1)
+		go f.work(f.renderers[w])
 	}
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
+	f.wg.Wait()
+	f.in = FrameInput{} // drop the frame's scene/list references at the barrier
+	if p := f.panicked; p != nil {
+		f.panicked = nil
+		panic(p)
 	}
 	return works
+}
+
+// work is one worker's frame loop: claim tiles off the shared cursor until
+// the frame is exhausted. The frame state it reads (f.in, f.tiles, f.works)
+// is written before the goroutines start and not touched again until after
+// the barrier, so the only synchronization it needs is the cursor itself.
+func (f *renderFarm) work(r *raster.Renderer) {
+	defer f.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			f.panicMu.Lock()
+			if f.panicked == nil {
+				f.panicked = p
+			}
+			f.panicMu.Unlock()
+		}
+	}()
+	works := f.works[:f.tiles]
+	for {
+		tile := int(f.cursor.Add(1)) - 1
+		if tile >= f.tiles {
+			return
+		}
+		r.RenderTileInto(&works[tile], f.in.Scene, f.in.Prims, f.in.Lists.Lists[tile], tile, f.in.FB)
+	}
 }

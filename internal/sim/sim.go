@@ -213,10 +213,12 @@ type rasterUnit struct {
 	feClock  float64 // rasterizer front-end availability (absolute cycles)
 	feStep   float64 // front-end occupancy per quad for the current tile
 
-	// work is the tile currently being replayed. In the serial rendering
-	// path it is a shallow copy of scratch; in replay modes it aliases the
-	// caller's Works entry. Read-only during the replay either way.
-	work raster.TileWork
+	// work points at the tile currently being replayed: the RU's own
+	// scratch in the serial rendering path, or the caller's Works entry in
+	// replay modes. A pointer rather than a shallow struct copy, so the RU
+	// never holds a second alias of storage it does not own (retainlint's
+	// transient-ownership contract). Read-only during the replay.
+	work *raster.TileWork
 	// scratch is the RU-owned reusable TileWork the serial path renders
 	// into; its buffers are reset and refilled at every tile, so steady-state
 	// rendering stops allocating once they reach the hot-tile watermark.
@@ -308,7 +310,11 @@ type FrameInput struct {
 	Scheduler sched.Scheduler
 	// Works, when non-nil, replays pre-rendered tile work (trace-driven
 	// mode) instead of rasterizing Scene/Prims/Lists; indexed by tile id.
+	// The slots remain owned by their producer and are valid only for this
+	// frame; retaining one requires TileWork.Clone.
+	//libra:transient
 	Works []raster.TileWork
+	//libra:transient
 	// WorksByRU, when non-nil, gives each Raster Unit its own tile-work
 	// array (parallel frame rendering: RU i renders frame i); indexed
 	// [ru][tile]. Takes precedence over Works.
@@ -330,6 +336,9 @@ type FrameInput struct {
 // and activity. Rendering output lands in in.FB. The returned PerRU slice is
 // backed by engine-owned scratch and is valid until the next RunRaster call
 // on this engine; callers that retain outputs across frames must copy it.
+//
+//libra:hotpath
+//libra:transient
 func (e *Engine) RunRaster(in FrameInput) FrameOutput {
 	// Parallel intra-frame mode: rasterize every tile functionally on the
 	// render farm first (rendezvous barrier inside), then replay the frame
@@ -417,15 +426,15 @@ func (e *Engine) step(ru *rasterUnit, in FrameInput) {
 // Parameter Buffer reads, and arms the quad replay.
 func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
 	if in.WorksByRU != nil {
-		ru.work = in.WorksByRU[ru.id][tile]
+		ru.work = &in.WorksByRU[ru.id][tile]
 	} else if in.Works != nil {
-		ru.work = in.Works[tile]
+		ru.work = &in.Works[tile]
 	} else {
 		ru.renderer.RenderTileInto(&ru.scratch, in.Scene, in.Prims, in.Lists.Lists[tile], tile, in.FB)
-		ru.work = ru.scratch
+		ru.work = &ru.scratch
 	}
 	if in.OnTileWork != nil {
-		in.OnTileWork(ru.work)
+		in.OnTileWork(*ru.work)
 	}
 	ru.quadIdx = 0
 	ru.tileActive = true

@@ -45,6 +45,9 @@ type Binner struct {
 }
 
 // Bin bins prims into the grid, reusing the Binner's per-tile list storage.
+//
+//libra:hotpath
+//libra:transient
 func (bn *Binner) Bin(grid Grid, prims []gpipe.Primitive) *TileLists {
 	tl := &bn.tl
 	tl.Grid = grid

@@ -50,6 +50,8 @@ type FrameTrace struct {
 }
 
 // Write serializes the trace.
+//
+//libra:hotpath
 func Write(w io.Writer, ft *FrameTrace) error {
 	bw := writerPool.Get().(*bufio.Writer)
 	bw.Reset(w)

@@ -179,6 +179,8 @@ func (g *Game) BuildFrame(frame int) *scene.Scene {
 // The scene is value-identical to BuildFrame's (Reset restores a scene to
 // its just-created state) but its draw-call storage is reused: the returned
 // scene is valid only until the next FrameScene call on this Game.
+//
+//libra:transient
 func (g *Game) FrameScene(frame int) *scene.Scene {
 	if g.frameScene == nil {
 		g.frameScene = scene.NewScene()

@@ -99,9 +99,13 @@ func (r *Run) RenderFrame() FrameResult {
 	return publishResult(res, r.gpu.Config().ClockHz)
 }
 
-// RenderFrames renders n frames and returns all results.
+// RenderFrames renders n frames and returns all results. It is the
+// uncancellable form of RenderFramesContext.
 func (r *Run) RenderFrames(n int) []FrameResult {
-	out, _ := r.RenderFramesContext(context.Background(), n)
+	out := make([]FrameResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.RenderFrame())
+	}
 	return out
 }
 
