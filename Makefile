@@ -87,6 +87,13 @@ determinism:
 	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 4 -quiet > /tmp/libra-suite-par4x4.txt
 	diff -u /tmp/libra-suite-serial.txt /tmp/libra-suite-jobs4.txt
 	diff -u /tmp/libra-suite-serial.txt /tmp/libra-suite-par4x4.txt
+	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 1 -sim-workers 1 -render-elim -quiet > /tmp/libra-suite-re-serial.txt
+	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 4 -render-elim -quiet > /tmp/libra-suite-re-par4x4.txt
+	diff -u /tmp/libra-suite-re-serial.txt /tmp/libra-suite-re-par4x4.txt
+	$(GO) build -o /tmp/librasim ./cmd/librasim
+	/tmp/librasim -game AnB -rus 2 -frames 4 -sim-workers 4 -json | grep -o '"FrameHash":[0-9]*' > /tmp/libra-hash-off.txt
+	/tmp/librasim -game AnB -rus 2 -frames 4 -sim-workers 4 -render-elim -json | grep -o '"FrameHash":[0-9]*' > /tmp/libra-hash-on.txt
+	diff -u /tmp/libra-hash-off.txt /tmp/libra-hash-on.txt
 
 # Capture a real trace and validate its Perfetto-loadable shape.
 trace-smoke:
@@ -129,5 +136,6 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSchedEquivalence -fuzztime 15s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzResultKey -fuzztime 15s ./internal/experiments
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRunRequest -fuzztime 15s ./internal/serve
+	$(GO) test -run '^$$' -fuzz FuzzTileSignature -fuzztime 15s ./internal/tiling
 
 ci: build vet fmt lint lint-fix-check test race bench bench-gate determinism trace-smoke store-smoke serve-smoke fuzz cover

@@ -28,6 +28,31 @@ func TestSteadyStateFrameAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateFrameAllocsRenderElim is the same bound with Rendering
+// Elimination enabled, in both coherence regimes. SuS scrolls every frame,
+// so RE signs every tile and never skips — the pure-overhead worst case: the
+// signature tables must reach their watermark and then stop allocating. AnB
+// is the static-background case where most tiles skip; the skip path itself
+// must allocate nothing.
+func TestSteadyStateFrameAllocsRenderElim(t *testing.T) {
+	for _, game := range []string{"SuS", "AnB"} {
+		cfg := libra.LIBRA(640, 384, 2)
+		cfg.RenderElim = true
+		run, err := libra.NewRun(cfg, game)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.RenderFrames(4)
+		allocs := testing.AllocsPerRun(5, func() {
+			run.RenderFrame()
+		})
+		const limit = 1500
+		if allocs > limit {
+			t.Errorf("%s: steady-state RE frame allocated %.0f times, want <= %d", game, allocs, limit)
+		}
+	}
+}
+
 // TestSteadyStateFrameAllocsParallel is the same bound under the parallel
 // rasterization farm, whose per-worker renderers and persistent TileWork
 // slots must not reintroduce per-frame garbage.

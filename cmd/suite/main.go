@@ -16,6 +16,7 @@
 //	suite -suite mem -frames 12    # memory-intensive games only
 //	suite -jobs 8                  # cap the worker pool
 //	suite -result-dir ~/.libra     # persist results across runs
+//	suite -experiment ablation-re  # LIBRA vs RE vs LIBRA+RE from the registry
 package main
 
 import (
@@ -43,7 +44,10 @@ func main() {
 		l2kb    = flag.Int("l2kb", 1024, "shared L2 KiB (0 = Table I 2MB)")
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
 		simWork = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); stdout is byte-identical for any value")
+		relim   = flag.Bool("render-elim", experiments.DefaultRenderElim(), "enable Rendering Elimination on every configuration (or $LIBRA_RENDER_ELIM); pixels unchanged, coherent frames skip tiles")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
+
+		experiment = flag.String("experiment", "", "run one registry experiment (e.g. ablation-re: LIBRA vs RE vs LIBRA+RE) instead of the suite table")
 
 		resultDir = flag.String("result-dir", experiments.DefaultResultDir(), "persistent result store directory (or $LIBRA_RESULT_DIR; empty = store disabled)")
 
@@ -70,6 +74,7 @@ func main() {
 	withL2 := func(c libra.Config) libra.Config {
 		c.L2KB = *l2kb
 		c.SimWorkers = *simWork
+		c.RenderElim = *relim
 		return c
 	}
 	configs := []struct {
@@ -93,6 +98,7 @@ func main() {
 		ScreenW: *screenW, ScreenH: *screenH,
 		Frames: *frames, Warmup: *warmup,
 		L2KB: *l2kb, SimWorkers: *simWork,
+		RenderElim: *relim,
 	})
 	runner.SetContext(ctx)
 	if *resultDir != "" {
@@ -102,6 +108,35 @@ func main() {
 			os.Exit(1)
 		}
 		runner.SetStore(st)
+	}
+
+	// -experiment delegates to the shared registry (the same drivers
+	// cmd/librasim exposes), reusing this invocation's runner — so the
+	// result store, Ctrl-C handling and -jobs/-sim-workers/-render-elim
+	// parameters all apply unchanged.
+	if *experiment != "" {
+		fn, ok := runner.Registry()[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (librasim -experiment lists the registry)\n", *experiment)
+			os.Exit(1)
+		}
+		runner.SetJobs(*jobs)
+		res := func() *experiments.Result {
+			// Run panics on failure, including a Ctrl-C surfacing at a frame
+			// boundary; convert that one case into the conventional exit 130.
+			defer func() {
+				if p := recover(); p != nil {
+					if ctx.Err() != nil {
+						fmt.Fprintln(os.Stderr, "suite: interrupted; completed simulations are in the result store")
+						os.Exit(130)
+					}
+					panic(p)
+				}
+			}()
+			return fn()
+		}()
+		fmt.Println(res.Table())
+		return
 	}
 
 	// One (game, config) pair may carry the telemetry recorder; its trace

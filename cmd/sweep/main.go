@@ -41,6 +41,7 @@ func main() {
 		screenH = flag.Int("h", 384, "screen height")
 		jobs    = flag.Int("jobs", experiments.DefaultJobs(), "concurrent simulations (<=0 = NumCPU, or $LIBRA_JOBS)")
 		simWork = flag.Int("sim-workers", experiments.DefaultSimWorkers(), "intra-frame rasterization workers per simulation (1 = serial reference engine, or $LIBRA_SIM_WORKERS); stdout is byte-identical for any value")
+		relim   = flag.Bool("render-elim", experiments.DefaultRenderElim(), "enable Rendering Elimination at every sweep point (or $LIBRA_RENDER_ELIM)")
 		quiet   = flag.Bool("quiet", false, "suppress the stderr progress/ETA line")
 
 		resultDir = flag.String("result-dir", experiments.DefaultResultDir(), "persistent result store directory (or $LIBRA_RESULT_DIR; empty = store disabled)")
@@ -83,6 +84,7 @@ func main() {
 		ScreenW: *screenW, ScreenH: *screenH,
 		Frames: *frames, Warmup: 2,
 		SimWorkers: *simWork,
+		RenderElim: *relim,
 	})
 	runner.SetContext(ctx)
 	if *resultDir != "" {
@@ -108,6 +110,7 @@ func main() {
 		cfg.Policy = libra.Policy(*policy)
 		cfg.L2KB = 1024
 		cfg.SimWorkers = *simWork
+		cfg.RenderElim = *relim
 		cfg.RasterUnits = 2
 		cfg.CoresPerRU = 4
 		switch *axis {

@@ -106,6 +106,14 @@ type Config struct {
 	// PostedWrites lets DRAM writes release their bank after the data
 	// burst (read-priority memory controller).
 	PostedWrites bool
+	// RenderElim enables Rendering Elimination: each tile's rendering
+	// inputs (binned triangles, shader/texture state, filtering) are hashed
+	// per frame, and a tile whose signature matches the previous frame is
+	// discarded at dispatch — its pixels are already in the Frame Buffer, so
+	// skipping performs no raster, shading or memory work. Rendered output
+	// is provably unchanged; only cycle/energy accounting improves on
+	// coherent frames.
+	RenderElim bool
 	// IntervalWidth, when non-zero, records the DRAM-requests-per-interval
 	// histogram of every frame (Fig. 7 uses 5000 cycles).
 	IntervalWidth int64
@@ -251,6 +259,7 @@ func (c Config) toCore() core.Config {
 		cc.DRAM.RefreshLatency = 168
 	}
 	cc.DRAM.PostedWrites = c.PostedWrites
+	cc.RenderElim = c.RenderElim
 	cc.IdealMemory = c.IdealMemory
 	cc.IntervalWidth = c.IntervalWidth
 	return cc

@@ -23,6 +23,30 @@ func BenchmarkFrame(b *testing.B) {
 	}
 }
 
+// BenchmarkFrameRE times the steady-state frame with Rendering Elimination
+// enabled, in both regimes: SuS (scrolling, zero skips — RE's signing
+// overhead with no payoff) and AnB (static background, most tiles skipped).
+// Both rows are gated in BENCH_ci.json, so RE's alloc count is pinned to the
+// RE-off baseline in CI.
+func BenchmarkFrameRE(b *testing.B) {
+	for _, game := range []string{"SuS", "AnB"} {
+		b.Run(game, func(b *testing.B) {
+			cfg := libra.LIBRA(640, 384, 2)
+			cfg.RenderElim = true
+			run, err := libra.NewRun(cfg, game)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run.RenderFrames(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run.RenderFrame()
+			}
+		})
+	}
+}
+
 // BenchmarkFrameWorkers times the same steady-state frame under the serial
 // reference engine (workers=1) and the parallel rasterization farm — the
 // speedup record for Config.SimWorkers. Every sub-benchmark computes

@@ -13,15 +13,15 @@ import (
 var goldenFrameHashes = map[string]uint64{
 	"AAt": 0x9611508e7799ea3d,
 	"AmU": 0xdbf75b4309ab0a90,
-	"AnB": 0x939a45316ed09cd8,
+	"AnB": 0x1ae08a2e87a43584,
 	"BBR": 0xb813700b6d83b8d6,
-	"BeB": 0xc1217fd1e082d43,
+	"BeB": 0x9e49d9907a75de5a,
 	"BlB": 0x65516246882b2270,
 	"CCS": 0x2f256ec7414541ef,
 	"ChK": 0x7e7b1f63f72d4139,
 	"CoC": 0x8c4c0bcd2f29e8a0,
 	"CrS": 0xc2c3978ccc3290b6,
-	"CuT": 0x95bf8c26c464b6c,
+	"CuT": 0x64b1087bc75bf398,
 	"DrM": 0x403c5c350e5bea09,
 	"FaF": 0xda556cff126f3c03,
 	"FlB": 0xc769037a6eaef920,
@@ -32,7 +32,7 @@ var goldenFrameHashes = map[string]uint64{
 	"HCR": 0x4242bbab479f3acb,
 	"HoW": 0xb6aa80ec7574620f,
 	"Jet": 0xd7750900f54f6efb,
-	"LiK": 0x3c2ea6f49c7e0687,
+	"LiK": 0x6aa3586a07b0e0e5,
 	"MiC": 0xed429d5c07e06159,
 	"PoG": 0x8a4529809fdcb2d9,
 	"RoK": 0x6ffd479add185ed7,

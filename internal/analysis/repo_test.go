@@ -63,6 +63,8 @@ func TestHotPathSetCoversAllocGates(t *testing.T) {
 		"(*repro/internal/sim.Engine).RunRaster",
 		"(*repro/internal/mem.Hierarchy).AccessThroughL1",
 		"(*repro/internal/tiling.Binner).Bin",
+		"repro/internal/tiling.TileSignature",
+		"repro/internal/tiling.AppendTileSignatures",
 		"(*repro/internal/gpipe.Pipeline).Run",
 		"repro/internal/trace.Write",
 	} {

@@ -93,3 +93,57 @@ func valueCopyOK(a *arena, h *holder) {
 	f := a.Frame()
 	h.n = len(f.data)
 }
+
+// sigTable models the Rendering Elimination signature table: Signatures
+// returns reused per-run storage that AppendTileSignatures overwrites in
+// place each frame, so it is valid only until the next Signatures call.
+type sigs []uint64
+
+// Clone deep-copies the table — the sanctioned retention path.
+func (s sigs) Clone() sigs { return append(sigs(nil), s...) }
+
+type sigTable struct {
+	cur sigs
+}
+
+// Signatures returns the current frame's tile-signature table.
+//
+//libra:transient
+func (s *sigTable) Signatures() sigs { return s.cur }
+
+type sigHolder struct {
+	prev sigs
+	last uint64
+}
+
+var prevSigs sigs
+
+// storeSigTable retains the reused table across frames: next frame's
+// AppendTileSignatures overwrites it and every "previous" signature matches
+// the current one — Rendering Elimination would skip every tile.
+func storeSigTable(st *sigTable, h *sigHolder) {
+	h.prev = st.Signatures() // want `stored to struct field`
+}
+
+func storeSigGlobal(st *sigTable) {
+	prevSigs = st.Signatures() // want `stored to package variable`
+}
+
+// cloneSigOK launders the table before retaining it.
+func cloneSigOK(st *sigTable, h *sigHolder) {
+	h.prev = st.Signatures().Clone()
+}
+
+// copySigOK copies the signatures into the holder's own backing array — the
+// sigPrev/sigCur double-buffer idiom.
+func copySigOK(st *sigTable, h *sigHolder) {
+	h.prev = append(h.prev[:0], st.Signatures()...)
+}
+
+// hashSigInPlaceOK consumes the table element-wise; uint64 reads are value
+// copies, never retained aliases.
+func hashSigInPlaceOK(st *sigTable, h *sigHolder) {
+	for _, s := range st.Signatures() {
+		h.last ^= s
+	}
+}

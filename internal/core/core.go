@@ -98,6 +98,11 @@ type Config struct {
 	// IntervalWidth, when non-zero, records the per-interval DRAM request
 	// histogram of each frame (Fig. 7).
 	IntervalWidth int64
+	// RenderElim enables Rendering Elimination (DESIGN §14): tiles whose
+	// per-frame input signature matches the previous frame are discarded at
+	// dispatch — no rasterization, no shading, no memory traffic — because
+	// the persistent Frame Buffer already holds their exact pixels.
+	RenderElim bool
 }
 
 // DefaultConfig mirrors Table I at the given screen size: 800 MHz GPU, 32×32
@@ -170,6 +175,7 @@ type FrameResult struct {
 	L2Stats       cache.Stats
 	DRAMStats     dram.Stats
 	DRAMAccesses  int // raster-phase DRAM accesses (temperature numerator)
+	TilesSkipped  int // tiles discarded by Rendering Elimination
 
 	Energy energy.Breakdown
 
@@ -219,6 +225,15 @@ type GPU struct {
 	// line-address collection buffer).
 	binner    tiling.Binner
 	replLines []uint64
+
+	// Rendering Elimination per-run state: the previous and current frame's
+	// tile signature tables and the skip mask, all reused across frames
+	// (sigPrev/sigCur swap after each frame instead of copying). sigValid
+	// goes true once a frame has populated sigPrev, so frame 0 never skips.
+	sigPrev  []uint64
+	sigCur   []uint64
+	reSkip   []bool
+	sigValid bool
 
 	clock    int64
 	frameIdx int
@@ -316,6 +331,29 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 		scheduler = sched.Instrument(scheduler, g.rec)
 	}
 
+	// ——— Rendering Elimination: signature match against the previous frame ———
+	//
+	// Skips are decided here, before RunRaster, from frame-pure inputs (the
+	// binned lists, the primitives, the scene state) — never from timing or
+	// host-parallelism state — so the skip set is identical across
+	// SimWorkers settings by construction. Disabled under a trace sink:
+	// CaptureTrace consumers need every tile's functional work.
+	var skip []bool
+	if g.cfg.RenderElim && g.traceSink == nil {
+		salt := uint64(g.cfg.Sim.Filtering)
+		g.sigCur = tiling.AppendTileSignatures(g.sigCur[:0], lists, prims, sc, salt)
+		if g.sigValid && len(g.sigPrev) == len(g.sigCur) {
+			if cap(g.reSkip) < len(g.sigCur) {
+				g.reSkip = make([]bool, len(g.sigCur))
+			}
+			g.reSkip = g.reSkip[:len(g.sigCur)]
+			for i, sig := range g.sigCur {
+				g.reSkip[i] = sig == g.sigPrev[i]
+			}
+			skip = g.reSkip
+		}
+	}
+
 	// ——— Raster Pipeline ———
 	tileStats := stats.NewTileTable(g.grid.TilesX, g.grid.TilesY)
 	out := g.eng.RunRaster(sim.FrameInput{
@@ -324,6 +362,7 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 		Lists:      lists,
 		FB:         g.fb,
 		Scheduler:  scheduler,
+		Skip:       skip,
 		TileStats:  tileStats,
 		StartCycle: rasterStart,
 		OnTileWork: g.traceSink,
@@ -340,6 +379,7 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 	res.TexHitRatio = out.TexHitRatio()
 	res.AvgTexLatency = out.AvgTexLatency()
 	res.DRAMAccesses = out.DRAMAccesses
+	res.TilesSkipped = out.TilesSkipped
 	res.FrameHash = g.fb.Hash()
 	res.TileStats = tileStats
 	res.Intervals = hist
@@ -366,6 +406,10 @@ func (g *GPU) RenderFrame(sc *scene.Scene) FrameResult {
 		TexHitRatio:  res.TexHitRatio,
 	}, res.OrderMode)
 	g.prevTiles = tileStats
+	if g.cfg.RenderElim && g.traceSink == nil {
+		g.sigPrev, g.sigCur = g.sigCur, g.sigPrev
+		g.sigValid = true
+	}
 	g.clock = rasterStart + out.RasterCycles
 	g.frameIdx++
 	if g.rec != nil {

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/scene"
+	"repro/internal/shader"
+	"repro/internal/workloads"
+)
+
+// reSpriteCount is the number of small screen-space sprites in the synthetic
+// coherence scene below; movers are taken as a prefix of them.
+const reSpriteCount = 4
+
+// reScene builds a two-pass screen-space scene: a full-screen opaque
+// background plus reSpriteCount small alpha-blended sprites in separate
+// screen regions. The first `movers` sprites translate a little every frame;
+// the rest — and the background — are bitwise identical across frames.
+// Scenes are rebuilt from scratch per frame, so the bump-allocated geometry
+// addresses are deterministic and two static frames are truly identical
+// inputs.
+func reScene(frame, movers int) *scene.Scene {
+	flat := shader.Program{Name: "flat", ALUOps: 8, Interpolants: 4}
+	sc := scene.NewScene()
+	sc.Add(scene.DrawCall{
+		Mesh:        scene.NewQuad(1, 1),
+		Material:    scene.Material{Program: flat, Blend: scene.BlendOpaque, DepthWrite: true},
+		Model:       geom.Translate(0.5, 0.5, -1).Mul(geom.ScaleM(1, 1, 1)),
+		ScreenSpace: true,
+	})
+	for i := 0; i < reSpriteCount; i++ {
+		x := 0.15 + 0.22*float32(i)
+		if i < movers {
+			x += 0.01 * float32(frame)
+		}
+		sc.Add(scene.DrawCall{
+			Mesh:        scene.NewQuad(1, 1),
+			Material:    scene.Material{Program: flat, Blend: scene.BlendAlpha},
+			Model:       geom.Translate(x, 0.5, 1).Mul(geom.ScaleM(0.08, 0.12, 1)),
+			ScreenSpace: true,
+		})
+	}
+	return sc
+}
+
+// reRender renders `frames` frames of the synthetic scene on one GPU and
+// returns the per-frame results plus a copy of the final pixels.
+func reRender(cfg Config, frames, movers int) ([]FrameResult, []uint32) {
+	gpu := New(cfg)
+	var out []FrameResult
+	for f := 0; f < frames; f++ {
+		out = append(out, gpu.RenderFrame(reScene(f, movers)))
+	}
+	pix := append([]uint32(nil), gpu.FrameBuffer().Pixels...)
+	return out, pix
+}
+
+// TestRenderElimStaticSceneSkipsEverything is the limiting case of the RE
+// contract: on a fully static scene, frame 0 must skip nothing (there is no
+// previous frame to match), every later frame must skip every tile — a hit
+// ratio of exactly 1.0 — and the pixels must stay byte-identical to the
+// RE-off render of the same frames.
+func TestRenderElimStaticSceneSkipsEverything(t *testing.T) {
+	cfg := PTRConfig(testW, testH, 2)
+	off, offPix := reRender(cfg, 2, 0)
+	cfg.RenderElim = true
+	on, onPix := reRender(cfg, 2, 0)
+
+	tiles := New(cfg).Grid().NumTiles()
+	if on[0].TilesSkipped != 0 {
+		t.Errorf("frame 0 skipped %d tiles with no previous frame", on[0].TilesSkipped)
+	}
+	if on[1].TilesSkipped != tiles {
+		t.Errorf("static frame 1 skipped %d of %d tiles, want all (hit ratio 1.0)",
+			on[1].TilesSkipped, tiles)
+	}
+	if on[1].TotalCycles >= off[1].TotalCycles {
+		t.Errorf("skipping every tile did not reduce frame cycles: %d >= %d",
+			on[1].TotalCycles, off[1].TotalCycles)
+	}
+	for i := range offPix {
+		if offPix[i] != onPix[i] {
+			t.Fatalf("pixel %d differs between RE off and RE on", i)
+		}
+	}
+}
+
+// TestRenderElimCoherenceMonotonic is the metamorphic relation behind the
+// hit ratio: animating strictly more of the scene (the mover sets are nested
+// prefixes, so each step only invalidates additional tiles) must never raise
+// the number of skipped tiles.
+func TestRenderElimCoherenceMonotonic(t *testing.T) {
+	cfg := PTRConfig(testW, testH, 2)
+	cfg.RenderElim = true
+	prev := -1
+	for movers := reSpriteCount; movers >= 0; movers-- {
+		frames, _ := reRender(cfg, 2, movers)
+		skipped := frames[1].TilesSkipped
+		if skipped < prev {
+			t.Errorf("fewer movers lowered skips: %d movers skipped %d, %d movers skipped %d",
+				movers+1, prev, movers, skipped)
+		}
+		prev = skipped
+	}
+	if prev == 0 {
+		t.Error("fully static variant skipped nothing — the relation was vacuous")
+	}
+}
+
+// TestRenderElimNeverSlowsFrames checks RE's side of the timing physics on
+// every registered profile: a skipped tile costs SigCheckCycles instead of
+// its full raster work and removes its memory traffic, so enabling RE must
+// never increase any frame's cycles — on incoherent profiles it skips
+// nothing and must be an exact no-op.
+func TestRenderElimNeverSlowsFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the whole suite twice")
+	}
+	for _, p := range workloads.All() {
+		base := PTRConfig(testW, testH, 2)
+		re := PTRConfig(testW, testH, 2)
+		re.RenderElim = true
+		off := renderFrames(t, base, p.Abbrev, metamorphicFrames)
+		on := renderFrames(t, re, p.Abbrev, metamorphicFrames)
+		for i := range off {
+			if on[i].TotalCycles > off[i].TotalCycles {
+				t.Errorf("%s frame %d: Rendering Elimination raised cycles %d -> %d (skipped %d tiles)",
+					p.Abbrev, i, off[i].TotalCycles, on[i].TotalCycles, on[i].TilesSkipped)
+			}
+		}
+	}
+}

@@ -138,6 +138,66 @@ func (r *Runner) AblationPFR() *Result {
 	return res
 }
 
+// reGames spans the coherence spectrum: the four static-background puzzle
+// profiles (high exact-repeat tile coherence — RE's target structure) plus
+// two scrolling memory-intensive games whose full-screen background motion
+// defeats exact signature matching (RE must be harmless there).
+var reGames = []string{"AnB", "BeB", "CuT", "LiK", "CCS", "SuS"}
+
+// AblationRE isolates where Rendering Elimination's benefit comes from and
+// how it composes with the paper's scheduler: over a PTR(2) Z-order base it
+// measures LIBRA alone, RE alone, and LIBRA+RE (each as speedup %), plus RE's
+// DRAM-traffic reduction and its mean per-frame tile hit ratio. The coherent
+// profiles show the win; the scrolling ones pin the no-coherence cost at
+// zero.
+func (r *Runner) AblationRE() *Result {
+	res := &Result{
+		ID:      "ablation-re",
+		Title:   "Rendering Elimination ablation: speedup over PTR Z-order (%), DRAM reduction, hit ratio",
+		Columns: []string{"libra", "re", "libra+re", "re_dram_red", "re_hit"},
+	}
+	res.Rows = r.perGame(reGames, func(g string) Row {
+		base := r.Run(r.PTR(2), g)
+
+		lib := r.Run(r.LIBRA(2), g)
+
+		reCfg := r.PTR(2)
+		reCfg.RenderElim = true
+		re := r.Run(reCfg, g)
+
+		bothCfg := r.LIBRA(2)
+		bothCfg.RenderElim = true
+		both := r.Run(bothCfg, g)
+
+		var dramRed float64
+		if base.Summary.DRAMAccesses > 0 {
+			dramRed = (1 - float64(re.Summary.DRAMAccesses)/float64(base.Summary.DRAMAccesses)) * 100
+		}
+		var hit float64
+		if frames := re.Frames[min(r.P.Warmup, len(re.Frames)):]; len(frames) > 0 {
+			for _, f := range frames {
+				hit += f.REHitRatio
+			}
+			hit /= float64(len(frames))
+		}
+		return Row{Label: g, Values: []float64{
+			(libra.Speedup(base.Summary, lib.Summary) - 1) * 100,
+			(libra.Speedup(base.Summary, re.Summary) - 1) * 100,
+			(libra.Speedup(base.Summary, both.Summary) - 1) * 100,
+			dramRed,
+			hit,
+		}}
+	})
+	res.Headline = map[string]float64{
+		"avg_libra_pct":    mean(column(res.Rows, 0)),
+		"avg_re_pct":       mean(column(res.Rows, 1)),
+		"avg_libra_re_pct": mean(column(res.Rows, 2)),
+		"avg_re_dram_red":  mean(column(res.Rows, 3)),
+		"avg_re_hit":       mean(column(res.Rows, 4)),
+	}
+	return res
+}
+
 // AblationExtensions measures the extension features (not part of the
 // paper's proposal) on top of LIBRA: texture prefetching, DRAM refresh
 // modelling, and posted writes — each as speedup over plain LIBRA.

@@ -34,6 +34,11 @@ type Params struct {
 	// results — and hence every figure and table — are byte-identical for
 	// any value.
 	SimWorkers int
+	// RenderElim enables Rendering Elimination on every simulation the
+	// experiments run (libra.Config.RenderElim). Unlike SimWorkers it IS
+	// part of a result's identity: skipped tiles change cycle and energy
+	// accounting (never pixels), so it participates in store keys.
+	RenderElim bool
 }
 
 // DefaultParams returns the standard experiment scale: 1/8.4 of the FHD
@@ -366,6 +371,7 @@ func column(rows []Row, k int) []float64 {
 func (r *Runner) scale(cfg libra.Config) libra.Config {
 	cfg.L2KB = r.P.L2KB
 	cfg.SimWorkers = r.P.SimWorkers
+	cfg.RenderElim = r.P.RenderElim
 	return cfg
 }
 

@@ -35,6 +35,15 @@ func DefaultSimWorkers() int {
 	return 1
 }
 
+// DefaultRenderElim returns the Rendering Elimination default used when no
+// explicit -render-elim value is given: true exactly when the
+// LIBRA_RENDER_ELIM environment variable holds a true-ish boolean
+// ("1", "t", "true", ...).
+func DefaultRenderElim() bool {
+	v, err := strconv.ParseBool(os.Getenv("LIBRA_RENDER_ELIM"))
+	return err == nil && v
+}
+
 // Pool fans indexed jobs out to a bounded set of workers. Workers pull the
 // next index from a shared atomic counter, so load balances dynamically even
 // when per-job runtimes are heavily skewed (per-game simulation times vary by

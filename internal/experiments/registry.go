@@ -27,6 +27,7 @@ func (r *Runner) Registry() map[string]func() *Result {
 		"ranking":         r.RankingOverhead,
 		"ablation-orders": r.AblationOrders,
 		"ablation-ext":    r.AblationExtensions,
+		"ablation-re":     r.AblationRE,
 		"ablation-pfr":    r.AblationPFR,
 		"smoothing":       r.Smoothing,
 	}

@@ -41,7 +41,9 @@ import (
 // SchemaVersion is the on-disk payload schema. It participates in every key,
 // so bumping it cleanly invalidates all prior entries (they become
 // unreachable and are reclaimed by GC) instead of being misdecoded.
-const SchemaVersion = 1
+// v2: FrameResult gained the Rendering Elimination fields (TilesSkipped,
+// REHitRatio).
+const SchemaVersion = 2
 
 // magic identifies an entry file and its framing version.
 var magic = [8]byte{'L', 'I', 'B', 'R', 'A', 'R', 'S', '1'}

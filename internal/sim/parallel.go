@@ -125,6 +125,15 @@ func (f *renderFarm) work(r *raster.Renderer) {
 		if tile >= f.tiles {
 			return
 		}
+		if f.in.Skip != nil && f.in.Skip[tile] {
+			// Rendering Elimination: the timing replay will skip this tile
+			// before touching its (stale) work slot, so rendering it here
+			// would be wasted — and would overwrite Frame Buffer pixels the
+			// skip contract promises to leave untouched (they are already
+			// identical by the signature argument, but not re-writing them is
+			// what makes RE a host-side win too).
+			continue
+		}
 		r.RenderTileInto(&works[tile], f.in.Scene, f.in.Prims, f.in.Lists.Lists[tile], tile, f.in.FB)
 	}
 }

@@ -78,9 +78,20 @@ func DefaultConfig() Config {
 	}
 }
 
+// SigCheckCycles is the fixed cost a Raster Unit pays to look up and compare
+// a tile's Rendering Elimination signature at dispatch. A matching tile
+// advances the RU clock by only this much: its raster, shading, Parameter
+// Buffer and Color Buffer work is skipped entirely (the Frame Buffer already
+// holds its exact pixels — see DESIGN §14).
+const SigCheckCycles = 4
+
 // RUStats aggregates one Raster Unit's frame activity.
 type RUStats struct {
-	Tiles        int
+	Tiles int
+	// TilesSkipped counts tiles discarded by Rendering Elimination (their
+	// input signature matched the previous frame); they are not included in
+	// Tiles.
+	TilesSkipped int
 	Quads        int
 	Fragments    int
 	Instructions uint64
@@ -112,6 +123,7 @@ type FrameOutput struct {
 	TexMisses       uint64
 	TexLatencySum   uint64
 	DRAMAccesses    int
+	TilesSkipped    int // Rendering Elimination discards this frame
 }
 
 // Utilization returns the fraction of core-cycles RU i spent computing
@@ -325,6 +337,13 @@ type FrameInput struct {
 	// call: a sink that retains the trace past its return must deep-copy it
 	// with TileWork.Clone.
 	OnTileWork func(raster.TileWork)
+	// Skip, when non-nil, marks tiles whose Rendering Elimination signature
+	// matched the previous frame (indexed by tile id): the engine charges
+	// only SigCheckCycles for them and performs no rendering, no Parameter
+	// Buffer reads and no Color Buffer flush. The slice is owned by the
+	// caller's per-run signature state and is overwritten next frame.
+	//libra:transient
+	Skip []bool
 	// TileStats, when non-nil, accumulates per-tile DRAM accesses and
 	// instruction counts (LIBRA's temperature inputs).
 	TileStats *stats.TileTable
@@ -384,6 +403,7 @@ func (e *Engine) RunRaster(in FrameInput) FrameOutput {
 		out.TexMisses += ru.stats.TexMisses
 		out.TexLatencySum += ru.stats.TexLatencySum
 		out.DRAMAccesses += ru.stats.DRAMAccesses
+		out.TilesSkipped += ru.stats.TilesSkipped
 	}
 	out.RasterCycles = end - in.StartCycle
 	e.perRU = out.PerRU
@@ -425,6 +445,18 @@ func (e *Engine) step(ru *rasterUnit, in FrameInput) {
 // beginTile renders the tile functionally, accounts the Tile Fetcher's
 // Parameter Buffer reads, and arms the quad replay.
 func (e *Engine) beginTile(ru *rasterUnit, in FrameInput, tile int) {
+	if in.Skip != nil && in.Skip[tile] {
+		// Rendering Elimination hit: the tile's input signature matches the
+		// previous frame, so the Frame Buffer already holds its exact pixels.
+		// Charge the signature comparison only — no rendering, no memory
+		// traffic, no flush — and return to the scheduler.
+		ru.stats.TilesSkipped++
+		ru.now += SigCheckCycles
+		if e.rec != nil {
+			e.rec.TileSkipped(ru.id, tile, ru.now)
+		}
+		return
+	}
 	if in.WorksByRU != nil {
 		ru.work = &in.WorksByRU[ru.id][tile]
 	} else if in.Works != nil {

@@ -46,6 +46,11 @@ type Recorder interface {
 	// traffic.
 	TileSpan(ru, tile int, start, end int64, quads, dramAccesses int)
 
+	// TileSkipped records Raster Unit ru discarding one tile through
+	// Rendering Elimination at the given cycle: its input signature matched
+	// the previous frame, so no TileSpan follows for it this frame.
+	TileSkipped(ru, tile int, cycle int64)
+
 	// TileAssigned counts one scheduler dispatch of tile to ru. The
 	// scheduler is timing-free, so the event carries no cycle stamp; the
 	// matching TileSpan carries the when.

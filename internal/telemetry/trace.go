@@ -86,6 +86,10 @@ type nameArgs struct {
 	Name string `json:"name"`
 }
 
+type skipArgs struct {
+	Tile int `json:"tile"`
+}
+
 type pctArgs struct {
 	Pct float64 `json:"pct"`
 }
@@ -119,6 +123,13 @@ type Trace struct {
 	bankHists   map[int]*IntervalHistogram // keyed by DRAM tid
 	ruSeen      map[int]bool
 	bankSeen    map[int]bool // DRAM tids
+
+	// Rendering Elimination tallies. reSkipped counts TileSkipped events,
+	// reSeen counts rendered TileSpans; their sum is every tile dispatched.
+	// The re.* registry entries are materialized only once a skip has
+	// occurred, so RE-off runs export byte-identical traces and metrics.
+	reSkipped int64
+	reSeen    int64
 }
 
 // NewTrace builds an empty trace with its own registry.
@@ -238,6 +249,10 @@ func (t *Trace) TileSpan(ru, tile int, start, end int64, quads, dramAccesses int
 	}
 	t.lastTileEnd[ru] = end
 	t.ruSeen[ru] = true
+	t.reSeen++
+	if t.reSkipped > 0 {
+		t.reg.Gauge("re.hit_ratio").Set(float64(t.reSkipped) / float64(t.reSkipped+t.reSeen))
+	}
 	t.add(Event{
 		Name: fmt.Sprintf("tile %d", tile),
 		Cat:  "tile",
@@ -247,6 +262,28 @@ func (t *Trace) TileSpan(ru, tile int, start, end int64, quads, dramAccesses int
 		Pid:  pidRU,
 		Tid:  ru,
 		Args: tileArgs{Dram: dramAccesses, Quads: quads, Tile: tile},
+	})
+}
+
+// TileSkipped implements Recorder. The re.* counter and gauge first appear
+// here — a run that never skips exports traces and metrics byte-identical to
+// a build without Rendering Elimination.
+func (t *Trace) TileSkipped(ru, tile int, cycle int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reSkipped++
+	t.reg.Counter("re.tiles_skipped").Inc()
+	t.reg.Gauge("re.hit_ratio").Set(float64(t.reSkipped) / float64(t.reSkipped+t.reSeen))
+	t.ruSeen[ru] = true
+	t.add(Event{
+		Name: fmt.Sprintf("skip tile %d", tile),
+		Cat:  "re",
+		Ph:   "i",
+		S:    "t",
+		Ts:   t.us(cycle),
+		Pid:  pidRU,
+		Tid:  ru,
+		Args: skipArgs{Tile: tile},
 	})
 }
 

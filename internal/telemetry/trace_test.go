@@ -236,3 +236,59 @@ func TestTraceConfigDefaults(t *testing.T) {
 		t.Errorf("defaults = %+v", cfg)
 	}
 }
+
+// TestTraceTileSkipped checks the Rendering Elimination instrumentation: the
+// skip counter, the running hit-ratio gauge, and one instant event per
+// discarded tile — and that a trace with no skips exports no re.* metrics at
+// all, so RE-off runs stay byte-identical to the committed goldens.
+func TestTraceTileSkipped(t *testing.T) {
+	tr := newTestTrace()
+	tr.BeginFrame(0, 0)
+	tr.TileSkipped(0, 1, 4)
+	tr.TileSkipped(1, 2, 4)
+	tr.TileSpan(0, 0, 4, 100, 3, 1)
+	tr.EndFrame(120)
+
+	s := tr.MetricsSnapshot()
+	if got := s.Counters["re.tiles_skipped"]; got != 2 {
+		t.Errorf("re.tiles_skipped = %d, want 2", got)
+	}
+	if got, want := s.Gauges["re.hit_ratio"], 2.0/3.0; got != want {
+		t.Errorf("re.hit_ratio = %v, want %v", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	instants := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat == "re" && ev.Ph == "i" {
+			instants++
+		}
+	}
+	if instants != 2 {
+		t.Errorf("%d re instant events, want 2", instants)
+	}
+
+	// No skips → no re.* registry entries.
+	clean := newTestTrace()
+	drive(clean)
+	cs := clean.MetricsSnapshot()
+	if _, ok := cs.Counters["re.tiles_skipped"]; ok {
+		t.Error("skip-free trace materialized re.tiles_skipped")
+	}
+	if _, ok := cs.Gauges["re.hit_ratio"]; ok {
+		t.Error("skip-free trace materialized re.hit_ratio")
+	}
+}

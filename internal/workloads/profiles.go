@@ -137,10 +137,14 @@ func shooter3D(texSize, boxes int) Params {
 }
 
 // puzzleLite is the lightweight casual archetype (low footprint, low ALU —
-// compute-intensive only in the relative sense of Fig. 17).
+// compute-intensive only in the relative sense of Fig. 17). Its background
+// does not scroll: casual puzzle boards sit on a static backdrop, which makes
+// these the suite's frame-coherent profiles — tiles outside the animated
+// play area repeat exactly between frames, the structure Rendering
+// Elimination converts into skipped tiles.
 func puzzleLite(texSize int) Params {
 	return Params{
-		BGLayers: 1, BGTexSize: texSize, BGScroll: 0.0008, BGProgram: shader.Textured,
+		BGLayers: 1, BGTexSize: texSize, BGScroll: 0, BGProgram: shader.Textured,
 		Clusters: []ClusterSpec{
 			cluster(0.5, 0.5, 0.55, 0.5, 24, 0.08, texSize, 3, shader.Sprite, 0),
 		},

@@ -75,6 +75,91 @@ func TestSerialParallelEquivalenceMatrix(t *testing.T) {
 	}
 }
 
+// renderMatrixFramesRE is renderMatrixFrames with the Rendering Elimination
+// axis added.
+func renderMatrixFramesRE(t *testing.T, game string, workers, frames int, re bool) ([]libra.FrameResult, []uint32) {
+	t.Helper()
+	cfg := equivalenceConfig(workers)
+	cfg.RenderElim = re
+	r, err := libra.NewRun(cfg, game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.RenderFrames(frames), r.FramePixels()
+}
+
+// TestRenderElimEquivalenceMatrix extends the 32-profile matrix with the
+// Rendering Elimination axis: {RE off, RE on} × {serial, 4 workers}. Within
+// each RE setting the serial and parallel cells must be fully DeepEqual
+// (frames, summaries, pixels) — SimWorkers stays unobservable with skips in
+// play. Across the RE axis, rendered output must be identical on every
+// profile: final pixels DeepEqual and every frame's FrameHash equal. RE may
+// only change cycle/energy accounting where the run actually skipped tiles
+// (was coherent); on profiles where nothing was skipped the frames must be
+// DeepEqual outright.
+func TestRenderElimEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the whole suite four times")
+	}
+	const frames = 3
+	for _, b := range libra.Benchmarks() {
+		b := b
+		t.Run(b.Abbrev, func(t *testing.T) {
+			t.Parallel()
+			off, offPix := renderMatrixFramesRE(t, b.Abbrev, 0, frames, false)
+			on, onPix := renderMatrixFramesRE(t, b.Abbrev, 0, frames, true)
+
+			// Serial vs 4 workers, inside each RE setting.
+			for _, cell := range []struct {
+				re   bool
+				ref  []libra.FrameResult
+				pix  []uint32
+				name string
+			}{
+				{false, off, offPix, "RE off"},
+				{true, on, onPix, "RE on"},
+			} {
+				par, parPix := renderMatrixFramesRE(t, b.Abbrev, 4, frames, cell.re)
+				for i := range cell.ref {
+					if !reflect.DeepEqual(cell.ref[i], par[i]) {
+						t.Errorf("%s: workers=4 frame %d diverges from serial:\nserial:   %s\nparallel: %s",
+							cell.name, i, frameLine(cell.ref[i]), frameLine(par[i]))
+					}
+				}
+				if a, b := libra.Summarize(cell.ref, 1).String(), libra.Summarize(par, 1).String(); a != b {
+					t.Errorf("%s: workers=4 summary diverges:\nserial:   %s\nparallel: %s", cell.name, a, b)
+				}
+				if !reflect.DeepEqual(cell.pix, parPix) {
+					t.Errorf("%s: workers=4 final pixels diverge from serial", cell.name)
+				}
+			}
+
+			// Across the RE axis: rendered output is inviolable.
+			if !reflect.DeepEqual(offPix, onPix) {
+				t.Errorf("RE on changes final frame pixels")
+			}
+			skipped := 0
+			for i := range off {
+				if off[i].FrameHash != on[i].FrameHash {
+					t.Errorf("frame %d: RE on changes FrameHash %#x -> %#x",
+						i, off[i].FrameHash, on[i].FrameHash)
+				}
+				skipped += on[i].TilesSkipped
+			}
+			if skipped == 0 {
+				// No coherence found: RE must be a complete no-op, cycle and
+				// energy accounting included.
+				for i := range off {
+					if !reflect.DeepEqual(off[i], on[i]) {
+						t.Errorf("frame %d: zero tiles skipped but RE on still changes results:\noff: %s\non:  %s",
+							i, frameLine(off[i]), frameLine(on[i]))
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenFrameHashesParallel is the parallel twin of
 // TestGoldenFrameHashes: 4-worker rasterization must reproduce the committed
 // golden hashes exactly, tying the parallel engine to the same long-lived

@@ -42,6 +42,12 @@ type FrameResult struct {
 	Order     string // "zorder" or "temperature"
 	Supertile int    // supertile size in effect
 
+	// TilesSkipped counts tiles discarded by Rendering Elimination this
+	// frame; REHitRatio is that count over the frame's total tile count.
+	// Both are zero unless Config.RenderElim is set.
+	TilesSkipped int
+	REHitRatio   float64
+
 	// RUTiles and RUUtilization report per-Raster-Unit load balance.
 	RUTiles       []int
 	RUUtilization []float64
@@ -164,6 +170,10 @@ func publishResult(res core.FrameResult, clockHz float64) FrameResult {
 		Order:     res.OrderMode.String(),
 		Supertile: res.Supertile,
 		PBBytes:   res.PBBytes,
+	}
+	out.TilesSkipped = res.TilesSkipped
+	if res.TileStats != nil && res.TileStats.W*res.TileStats.H > 0 {
+		out.REHitRatio = float64(res.TilesSkipped) / float64(res.TileStats.W*res.TileStats.H)
 	}
 	out.RUTiles = append(out.RUTiles, res.RUTiles...)
 	out.RUUtilization = append(out.RUUtilization, res.RUUtilization...)

@@ -106,3 +106,56 @@ func TestRecorderDoesNotPerturbTiming(t *testing.T) {
 		}
 	}
 }
+
+// TestRenderElimAcceptance is the feature's acceptance check on a coherent
+// profile: with Rendering Elimination enabled on AnB (static background),
+// the telemetry counters must report skipped tiles and a positive hit ratio,
+// the per-frame results must agree with the counter, and the run must be
+// measurably faster than the RE-off render of the same frames.
+func TestRenderElimAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders frames")
+	}
+	const frames = 3
+	cfg := libra.LIBRA(320, 192, 2)
+	base, err := libra.NewRun(cfg, "AnB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base.RenderFrames(frames)
+
+	cfg.RenderElim = true
+	run, err := libra.NewRun(cfg, "AnB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTrace(telemetry.TraceConfig{ClockHz: cfg.ClockHz})
+	run.SetRecorder(tr)
+	on := run.RenderFrames(frames)
+
+	var skipped int64
+	for _, f := range on {
+		skipped += int64(f.TilesSkipped)
+	}
+	if skipped == 0 {
+		t.Fatal("coherent profile skipped no tiles")
+	}
+	s := tr.MetricsSnapshot()
+	if got := s.Counters["re.tiles_skipped"]; got != skipped {
+		t.Errorf("re.tiles_skipped = %d but frame results report %d", got, skipped)
+	}
+	if hit := s.Gauges["re.hit_ratio"]; hit <= 0 || hit > 1 {
+		t.Errorf("re.hit_ratio = %v, want in (0, 1]", hit)
+	}
+	if on[frames-1].REHitRatio <= 0 {
+		t.Errorf("final frame REHitRatio = %v, want > 0", on[frames-1].REHitRatio)
+	}
+	var offCycles, onCycles int64
+	for i := range off {
+		offCycles += off[i].TotalCycles
+		onCycles += on[i].TotalCycles
+	}
+	if onCycles >= offCycles {
+		t.Errorf("RE on is not faster: %d cycles vs %d off", onCycles, offCycles)
+	}
+}
