@@ -3,12 +3,14 @@
 
 GO ?= go
 PKGS := ./...
-# Packages the parallel experiment engine and the intra-frame render farm
-# exercise concurrently — the race detector's regression surface (telemetry:
-# one shared Trace fed by the pool; raster: disjoint-tile FrameBuffer writes;
-# serve: concurrent /v1/run with mid-flight cancellation against the shared
-# singleflight runner).
-RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/telemetry ./internal/raster ./internal/resultstore ./internal/serve
+# Packages the parallel experiment engine, the intra-frame render farm and
+# the epoch-parallel timing replay exercise concurrently — the race
+# detector's regression surface (telemetry: one shared Trace fed by the pool;
+# raster: disjoint-tile FrameBuffer writes; sim/mem: the replay classifier
+# farm's stream handshake and the L1 classification split; serve: concurrent
+# /v1/run with mid-flight cancellation against the shared singleflight
+# runner).
+RACE_PKGS := . ./internal/experiments ./internal/core ./internal/sim ./internal/mem ./internal/telemetry ./internal/raster ./internal/resultstore ./internal/serve
 # Statement-coverage floor: just under the measured baseline (73.8% with the
 # service layer and its uncovered cmd/libraserve + cmd/loadgen mains, which
 # the serve-smoke job exercises end to end instead), enforced by the CI
@@ -77,18 +79,21 @@ cover:
 	awk -v t="$$total" -v m="$(COVERAGE_MIN)" 'BEGIN { exit !(t+0 >= m+0) }' \
 		|| { echo "coverage $$total% is below the $(COVERAGE_MIN)% floor"; exit 1; }
 
-# Byte-identical suite output between serial and fanned-out runs, both for
-# the experiment pool (-jobs) and the intra-frame render farm (-sim-workers),
-# composed: the fully parallel run must reproduce the fully serial one.
+# Byte-identical suite output between serial and fanned-out runs, for the
+# experiment pool (-jobs), the intra-frame render farm (-sim-workers) and the
+# epoch-parallel timing replay (-replay-workers), composed: the fully
+# parallel run must reproduce the fully serial one.
 determinism:
 	$(GO) build -o /tmp/libra-suite ./cmd/suite
 	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 1 -sim-workers 1 -quiet > /tmp/libra-suite-serial.txt
 	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 1 -quiet > /tmp/libra-suite-jobs4.txt
 	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 4 -quiet > /tmp/libra-suite-par4x4.txt
+	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 4 -replay-workers 4 -quiet > /tmp/libra-suite-par4x4x4.txt
 	diff -u /tmp/libra-suite-serial.txt /tmp/libra-suite-jobs4.txt
 	diff -u /tmp/libra-suite-serial.txt /tmp/libra-suite-par4x4.txt
+	diff -u /tmp/libra-suite-serial.txt /tmp/libra-suite-par4x4x4.txt
 	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 1 -sim-workers 1 -render-elim -quiet > /tmp/libra-suite-re-serial.txt
-	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 4 -render-elim -quiet > /tmp/libra-suite-re-par4x4.txt
+	/tmp/libra-suite -suite mem -frames 4 -warmup 1 -jobs 4 -sim-workers 4 -replay-workers 4 -render-elim -quiet > /tmp/libra-suite-re-par4x4.txt
 	diff -u /tmp/libra-suite-re-serial.txt /tmp/libra-suite-re-par4x4.txt
 	$(GO) build -o /tmp/librasim ./cmd/librasim
 	/tmp/librasim -game AnB -rus 2 -frames 4 -sim-workers 4 -json | grep -o '"FrameHash":[0-9]*' > /tmp/libra-hash-off.txt
@@ -134,6 +139,7 @@ serve-smoke:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWorkloadGen -fuzztime 15s ./internal/workloads
 	$(GO) test -run '^$$' -fuzz FuzzSchedEquivalence -fuzztime 15s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzReplayEquivalence -fuzztime 15s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzResultKey -fuzztime 15s ./internal/experiments
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRunRequest -fuzztime 15s ./internal/serve
 	$(GO) test -run '^$$' -fuzz FuzzTileSignature -fuzztime 15s ./internal/tiling

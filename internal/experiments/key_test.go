@@ -45,10 +45,11 @@ func keyOf(t testing.TB, p Params, cfg libra.Config) string {
 }
 
 // TestKeyCoversEveryConfigField walks libra.Config by reflection: mutating
-// any field must change the store key — except SimWorkers, the host
-// parallelism knob, which is excluded by design (warm runs may change it
-// and must still hit). New Config fields are covered automatically; a field
-// that needs exclusion must be added here deliberately.
+// any field must change the store key — except the host parallelism knobs
+// SimWorkers and ReplayWorkers, which are excluded by design (warm runs may
+// change them and must still hit). New Config fields are covered
+// automatically; a field that needs exclusion must be added here
+// deliberately.
 func TestKeyCoversEveryConfigField(t *testing.T) {
 	p := storeParams()
 	base := keyOf(t, p, NewRunner(p).Baseline())
@@ -61,9 +62,9 @@ func TestKeyCoversEveryConfigField(t *testing.T) {
 			continue
 		}
 		k := keyOf(t, p, cfg)
-		if name == "SimWorkers" {
+		if name == "SimWorkers" || name == "ReplayWorkers" {
 			if k != base {
-				t.Errorf("Config.SimWorkers changed the key: host parallelism must be excluded")
+				t.Errorf("Config.%s changed the key: host parallelism must be excluded", name)
 			}
 			continue
 		}
@@ -130,8 +131,9 @@ func TestKeySpecRejectsUnknownGame(t *testing.T) {
 }
 
 // FuzzResultKey fuzzes (field, delta) over libra.Config: any effective
-// mutation must change the key unless the field is SimWorkers, and key
-// derivation must stay stable across repeated calls.
+// mutation must change the key unless the field is a host parallelism knob
+// (SimWorkers, ReplayWorkers), and key derivation must stay stable across
+// repeated calls.
 func FuzzResultKey(f *testing.F) {
 	ct := reflect.TypeOf(libra.Config{})
 	for i := 0; i < ct.NumField(); i++ {
@@ -157,9 +159,9 @@ func FuzzResultKey(f *testing.F) {
 		if k1 != k2 {
 			t.Fatalf("key derivation unstable: %s vs %s", k1, k2)
 		}
-		if name := ct.Field(field).Name; name == "SimWorkers" {
+		if name := ct.Field(field).Name; name == "SimWorkers" || name == "ReplayWorkers" {
 			if k1 != base {
-				t.Fatalf("SimWorkers mutation changed the key")
+				t.Fatalf("Config.%s mutation changed the key", name)
 			}
 		} else if k1 == base {
 			t.Fatalf("Config.%s mutation did not change the key", name)

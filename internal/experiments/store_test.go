@@ -55,7 +55,8 @@ func TestStoreWarmRunSimulatesNothing(t *testing.T) {
 	}
 
 	warm := storeRunner(t, dir)
-	warm.P.SimWorkers = 4 // host parallelism must not change the key
+	warm.P.SimWorkers = 4    // host parallelism must not change the key
+	warm.P.ReplayWorkers = 4 // ditto for the parallel timing replay
 	for _, g := range games {
 		run, err := warm.TryRun(warm.Baseline(), g)
 		if err != nil {

@@ -1,0 +1,194 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem/cache"
+	"repro/internal/mem/dram"
+	"repro/internal/telemetry"
+)
+
+// testDRAM mirrors the timing-relevant DRAM shape of the engine tests.
+func testDRAM() dram.Config {
+	return dram.Config{Channels: 1, Banks: 4, RowBytes: 2048,
+		RowHitLatency: 50, RowMissLatency: 100, BurstCycles: 8, QueueDepth: 8}
+}
+
+func testL1() *cache.Cache {
+	return cache.New(cache.Config{Name: "tex", SizeBytes: 4 * 1024, LineBytes: 64, Ways: 2, HitLatency: 2})
+}
+
+// hashRec folds every telemetry event into a running hash — a byte-exact
+// fingerprint of the event stream (kinds, arguments and order).
+type hashRec struct{ h uint64 }
+
+func (r *hashRec) mix(vs ...uint64) {
+	for _, v := range vs {
+		r.h ^= v
+		r.h *= 1099511628211
+		r.h ^= r.h >> 29
+	}
+}
+func (r *hashRec) BeginFrame(frame int, startCycle int64) {
+	r.mix(1, uint64(frame), uint64(startCycle))
+}
+func (r *hashRec) EndFrame(endCycle int64) { r.mix(2, uint64(endCycle)) }
+func (r *hashRec) TileSpan(ru, tile int, start, end int64, quads, dram int) {
+	r.mix(3, uint64(ru), uint64(tile), uint64(start), uint64(end), uint64(quads), uint64(dram))
+}
+func (r *hashRec) TileSkipped(ru, tile int, cycle int64) {
+	r.mix(4, uint64(ru), uint64(tile), uint64(cycle))
+}
+func (r *hashRec) TileAssigned(ru, tile int) { r.mix(5, uint64(ru), uint64(tile)) }
+func (r *hashRec) SchedDecision(cycle int64, policy, order string, supertile int) {
+	r.mix(6, uint64(cycle), uint64(len(policy)), uint64(len(order)), uint64(supertile))
+}
+func (r *hashRec) DRAMAccess(channel, bank int, start, done int64, write, rowHit bool, queueDepth int) {
+	w, rh := uint64(0), uint64(0)
+	if write {
+		w = 1
+	}
+	if rowHit {
+		rh = 1
+	}
+	r.mix(7, uint64(channel), uint64(bank), uint64(start), uint64(done), w, rh, uint64(queueDepth))
+}
+func (r *hashRec) CacheAccess(level telemetry.CacheLevel, cycle int64, hit bool) {
+	h := uint64(0)
+	if hit {
+		h = 1
+	}
+	r.mix(8, uint64(level), uint64(cycle), h)
+}
+
+// refAccess is one generated access of the differential stream.
+type refAccess struct {
+	l1    int
+	addr  uint64
+	write bool
+	now   int64
+}
+
+// genStream builds a deterministic mixed access stream over nL1 private L1s:
+// strided runs (prefetch-friendly), tight reuse loops (hit-heavy) and
+// scattered jumps (miss/eviction-heavy), with occasional writes so dirty
+// victims and writeback traffic are exercised.
+func genStream(nL1, n int, seed uint64) []refAccess {
+	x := seed | 1
+	rnd := func() uint64 { // xorshift64*: deterministic, no rand import
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x * 2685821657736338717
+	}
+	out := make([]refAccess, 0, n)
+	now := int64(0)
+	for len(out) < n {
+		l1 := int(rnd() % uint64(nL1))
+		base := TextureBase + (rnd()%1024)*64
+		switch rnd() % 3 {
+		case 0: // strided run
+			for i := uint64(0); i < 8 && len(out) < n; i++ {
+				out = append(out, refAccess{l1, base + i*64, rnd()%8 == 0, now})
+				now += int64(rnd() % 7)
+			}
+		case 1: // reuse loop
+			for i := 0; i < 6 && len(out) < n; i++ {
+				out = append(out, refAccess{l1, base + (rnd()%4)*64, false, now})
+				now += int64(rnd() % 3)
+			}
+		default: // scatter
+			out = append(out, refAccess{l1, TextureBase + (rnd() % (1 << 22)), rnd()%4 == 0, now})
+			now += int64(rnd() % 11)
+		}
+	}
+	return out
+}
+
+// TestClassifyReplayMatchesAccess is the differential proof behind the
+// epoch-parallel replay (DESIGN §15): for every mode combination, classifying
+// a whole access stream ahead of time (the maximal lookahead a parallel
+// classifier could ever achieve) and replaying the recorded outcomes at the
+// original cycles must be indistinguishable from AccessThroughL1 — identical
+// AccessResults, identical L1 contents and statistics, identical L2
+// statistics, and an identical telemetry event stream.
+func TestClassifyReplayMatchesAccess(t *testing.T) {
+	for _, mode := range []struct {
+		name     string
+		ideal    bool
+		prefetch bool
+	}{
+		{"real", false, false},
+		{"prefetch", false, true},
+		{"ideal", true, false},
+		{"ideal+prefetch", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			const nL1 = 3
+			stream := genStream(nL1, 4000, 0x9e3779b97f4a7c15)
+
+			mkHier := func() (*Hierarchy, *hashRec, []*cache.Cache) {
+				h := NewHierarchy(
+					cache.Config{Name: "L2", SizeBytes: 64 * 1024, LineBytes: 64, Ways: 8, HitLatency: 18},
+					testDRAM())
+				h.IdealL1 = mode.ideal
+				h.PrefetchNextLine = mode.prefetch
+				rec := &hashRec{}
+				h.Rec = rec
+				l1s := make([]*cache.Cache, nL1)
+				for i := range l1s {
+					l1s[i] = testL1()
+				}
+				return h, rec, l1s
+			}
+
+			// Reference: the fused path, in global order.
+			refH, refRec, refL1 := mkHier()
+			refRes := make([]AccessResult, len(stream))
+			for i, a := range stream {
+				refRes[i] = refH.AccessThroughL1(refL1[a.l1], a.now, a.addr, a.write)
+			}
+
+			// Split: classify every access first (per-L1 order preserved),
+			// then replay outcomes at the authoritative cycles in global
+			// order — exactly the parallel engine's structure.
+			spH, spRec, spL1 := mkHier()
+			outcomes := make([]L1Outcome, len(stream))
+			for l1 := 0; l1 < nL1; l1++ {
+				for i, a := range stream {
+					if a.l1 == l1 {
+						outcomes[i] = spH.ClassifyL1(spL1[l1], a.addr, a.write)
+					}
+				}
+			}
+			spRes := make([]AccessResult, len(stream))
+			for i, a := range stream {
+				spRes[i] = spH.ReplayThroughL1(spL1[a.l1], a.now, a.addr, a.write, outcomes[i])
+			}
+
+			for i := range stream {
+				if refRes[i] != spRes[i] {
+					t.Fatalf("access %d (%+v): fused %+v, split %+v", i, stream[i], refRes[i], spRes[i])
+				}
+			}
+			for i := range refL1 {
+				if refL1[i].Stats() != spL1[i].Stats() {
+					t.Errorf("L1 %d stats diverge: fused %+v, split %+v", i, refL1[i].Stats(), spL1[i].Stats())
+				}
+				if !reflect.DeepEqual(refL1[i].Lines(), spL1[i].Lines()) {
+					t.Errorf("L1 %d contents diverge", i)
+				}
+			}
+			if refH.L2.Stats() != spH.L2.Stats() {
+				t.Errorf("L2 stats diverge: fused %+v, split %+v", refH.L2.Stats(), spH.L2.Stats())
+			}
+			if !reflect.DeepEqual(refH.L2.Lines(), spH.L2.Lines()) {
+				t.Errorf("L2 contents diverge")
+			}
+			if refRec.h != spRec.h {
+				t.Errorf("telemetry event streams diverge: fused %#x, split %#x", refRec.h, spRec.h)
+			}
+		})
+	}
+}
